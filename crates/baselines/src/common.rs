@@ -1,0 +1,103 @@
+//! Shared pieces of the baseline systems.
+
+use detector_core::types::NodeId;
+
+/// Baseline behaviour knobs (kept identical across systems, §6.2: "we
+/// implement those details in the same way across all three systems").
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineConfig {
+    /// A pair is suspect when its loss ratio reaches this (same noise
+    /// filter as deTector's pre-processing, 1e-3).
+    pub pair_loss_threshold: f64,
+    /// Minimum lost probes for a pair to be suspect.
+    pub pair_min_loss: u64,
+    /// Probes per parallel path during a Netbouncer sweep.
+    pub sweep_probes_per_path: u32,
+    /// Probes per TTL per path during an fbtracert trace.
+    pub trace_probes_per_hop: u32,
+    /// Fraction of lossy traces needed to blame a hop.
+    pub hop_blame_threshold: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            pair_loss_threshold: 1e-3,
+            pair_min_loss: 1,
+            sweep_probes_per_path: 20,
+            trace_probes_per_hop: 10,
+            hop_blame_threshold: 0.2,
+        }
+    }
+}
+
+/// Loss counters of one probed server pair over a detection window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairObservation {
+    /// Pinger server.
+    pub src: NodeId,
+    /// Target server.
+    pub dst: NodeId,
+    /// Probes sent.
+    pub sent: u64,
+    /// Probes lost.
+    pub lost: u64,
+}
+
+impl PairObservation {
+    /// Loss ratio of the pair.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+}
+
+/// What a detection window produced.
+#[derive(Clone, Debug, Default)]
+pub struct DetectionResult {
+    /// Per-pair counters.
+    pub pairs: Vec<PairObservation>,
+    /// Pairs exceeding the loss threshold (candidates for localization).
+    pub suspects: Vec<(NodeId, NodeId)>,
+    /// Probes consumed (ping + reply, as Fig. 5 counts them).
+    pub probes_used: u64,
+}
+
+/// Probe accounting shared by detection and localization phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeBudget {
+    /// Round trips performed.
+    pub round_trips: u64,
+}
+
+impl ProbeBudget {
+    /// Fig. 5 counts ping and reply separately.
+    pub fn probes(&self) -> u64 {
+        self.round_trips * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_loss_ratio() {
+        let p = PairObservation {
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent: 200,
+            lost: 50,
+        };
+        assert!((p.loss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_counts_ping_and_reply() {
+        let b = ProbeBudget { round_trips: 10 };
+        assert_eq!(b.probes(), 20);
+    }
+}

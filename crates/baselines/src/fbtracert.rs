@@ -1,0 +1,165 @@
+//! fbtracert-style localization (§6.3): TTL-limited probes along every
+//! ECMP path of a suspect pair; the hop where losses begin is blamed.
+
+use std::collections::HashMap;
+
+use detector_core::types::{LinkId, NodeId};
+use detector_simnet::{Fabric, FlowKey};
+use detector_topology::{DcnTopology, Route};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::common::{BaselineConfig, ProbeBudget};
+use crate::netbouncer::BaselineDiagnosis;
+
+/// Traces every ECMP path of every suspect pair hop by hop and blames the
+/// first link whose prefix loss ratio jumps past the threshold.
+pub fn fbtracert_localize(
+    topo: &dyn DcnTopology,
+    fabric: &Fabric<'_>,
+    suspects: &[(NodeId, NodeId)],
+    cfg: &BaselineConfig,
+    budget_round_trips: u64,
+    rng: &mut SmallRng,
+) -> BaselineDiagnosis {
+    let mut budget = ProbeBudget::default();
+    // Blame votes per link.
+    let mut votes: HashMap<LinkId, u32> = HashMap::new();
+    let mut traces = 0u32;
+
+    'pairs: for &(src, dst) in suspects {
+        for route in topo.all_ecmp_routes(src, dst) {
+            if budget.round_trips >= budget_round_trips {
+                break 'pairs;
+            }
+            traces += 1;
+            // Per-hop loss ratio of TTL-limited probes: prefix h covers
+            // the first h links; a TTL-expired reply returns over the
+            // reversed prefix (like real traceroute responses).
+            let mut prev_loss = 0.0f64;
+            for h in 1..=route.links.len() {
+                let prefix = Route {
+                    nodes: route.nodes[..=h].to_vec(),
+                    links: route.links[..h].to_vec(),
+                };
+                let mut lost = 0u64;
+                for p in 0..cfg.trace_probes_per_hop {
+                    if budget.round_trips >= budget_round_trips {
+                        break;
+                    }
+                    let sport = 40_000u16
+                        .wrapping_add(p as u16)
+                        .wrapping_add(rng.gen_range(0..8));
+                    let flow = FlowKey::udp(src.0, dst.0, sport, 33434);
+                    let rt = fabric.round_trip(&prefix, flow, rng);
+                    budget.round_trips += 1;
+                    if !rt.success {
+                        lost += 1;
+                    }
+                }
+                let loss = lost as f64 / cfg.trace_probes_per_hop.max(1) as f64;
+                // Loss appears at this hop but not before: blame the hop's
+                // link.
+                if loss - prev_loss >= cfg.hop_blame_threshold {
+                    *votes.entry(route.links[h - 1]).or_insert(0) += 1;
+                    break;
+                }
+                prev_loss = prev_loss.max(loss);
+            }
+        }
+    }
+
+    // A link is blamed when a meaningful share of traces implicate it.
+    let min_votes = 1u32.max((traces as f64 * 0.05) as u32);
+    let mut links: Vec<LinkId> = votes
+        .into_iter()
+        .filter(|&(l, v)| v >= min_votes && l.index() < topo.probe_links())
+        .map(|(l, _)| l)
+        .collect();
+    links.sort_unstable();
+    BaselineDiagnosis {
+        links,
+        probes_used: budget.probes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_simnet::LossDiscipline;
+    use detector_topology::Fattree;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_blames_the_failing_hop() {
+        let ft = Fattree::new(4).unwrap();
+        let mut fabric = Fabric::quiet(&ft);
+        let bad = ft.ac_link(0, 0, 0);
+        fabric.set_discipline_both(bad, LossDiscipline::Full);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let suspects = vec![(ft.server(0, 0, 0), ft.server(1, 0, 0))];
+        let d = fbtracert_localize(
+            &ft,
+            &fabric,
+            &suspects,
+            &BaselineConfig::default(),
+            u64::MAX,
+            &mut rng,
+        );
+        assert!(d.links.contains(&bad), "blamed: {:?}", d.links);
+    }
+
+    #[test]
+    fn clean_paths_blame_nothing() {
+        let ft = Fattree::new(4).unwrap();
+        let fabric = Fabric::quiet(&ft);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let suspects = vec![(ft.server(0, 0, 0), ft.server(1, 0, 0))];
+        let d = fbtracert_localize(
+            &ft,
+            &fabric,
+            &suspects,
+            &BaselineConfig::default(),
+            u64::MAX,
+            &mut rng,
+        );
+        assert!(d.links.is_empty());
+        assert!(d.probes_used > 0);
+    }
+
+    #[test]
+    fn random_partial_loss_is_traceable_at_high_rate() {
+        let ft = Fattree::new(4).unwrap();
+        let mut fabric = Fabric::quiet(&ft);
+        let bad = ft.ea_link(1, 0, 0);
+        fabric.set_discipline_both(bad, LossDiscipline::RandomPartial { rate: 0.6 });
+        let mut rng = SmallRng::seed_from_u64(3);
+        let suspects = vec![(ft.server(0, 0, 0), ft.server(1, 0, 0))];
+        let d = fbtracert_localize(
+            &ft,
+            &fabric,
+            &suspects,
+            &BaselineConfig::default(),
+            u64::MAX,
+            &mut rng,
+        );
+        assert!(d.links.contains(&bad), "blamed: {:?}", d.links);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let ft = Fattree::new(4).unwrap();
+        let fabric = Fabric::quiet(&ft);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let suspects = vec![(ft.server(0, 0, 0), ft.server(1, 0, 0))];
+        let d = fbtracert_localize(
+            &ft,
+            &fabric,
+            &suspects,
+            &BaselineConfig::default(),
+            7,
+            &mut rng,
+        );
+        assert!(d.probes_used <= 14);
+    }
+}

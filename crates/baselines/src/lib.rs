@@ -1,0 +1,29 @@
+//! # detector-baselines
+//!
+//! The monitoring systems deTector is evaluated against (§2, §6.3):
+//!
+//! * **Pingmesh** (Guo et al., SIGCOMM'15) — full-mesh end-to-end probing:
+//!   a complete graph among the servers of each rack plus a complete graph
+//!   over all ToRs. Probes take whatever path ECMP hashes them onto, so
+//!   Pingmesh detects pair-level loss but cannot localize it; once a pair
+//!   is suspect, **Netbouncer** sweeps every parallel path between the pair
+//!   with an extra round of probes and runs tomography on the result.
+//! * **NetNORAD** (Facebook) — like Pingmesh but with pingers in a few
+//!   pods only; localization is delegated to **fbtracert**, which sends
+//!   TTL-limited probes along each ECMP path and blames the hop where loss
+//!   begins.
+//!
+//! Both baselines therefore *separate* detection from localization: the
+//! extra probe round costs another reporting window (30 s) and transient
+//! failures may be gone before it fires — the coupling argument at the
+//! heart of the paper.
+
+mod common;
+mod fbtracert;
+mod netbouncer;
+mod pingmesh;
+
+pub use common::{BaselineConfig, DetectionResult, PairObservation, ProbeBudget};
+pub use fbtracert::fbtracert_localize;
+pub use netbouncer::netbouncer_localize;
+pub use pingmesh::{BaselineKind, BaselineSystem};

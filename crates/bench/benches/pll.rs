@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the localization algorithms: same
+//! matrix, same observations, PLL vs Tomo vs SCORE vs OMP (the §5.3
+//! runtime comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detector_bench::probe_matrix_window;
+use detector_core::pll::{localize, localize_omp, localize_score, localize_tomo, OmpConfig};
+use detector_core::pmc::PmcConfig;
+use detector_simnet::{Fabric, FailureGenerator};
+use detector_topology::{construct_symmetric, Fattree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_pll(c: &mut Criterion) {
+    let ft = Fattree::new(18).unwrap();
+    let matrix = construct_symmetric(&ft, &PmcConfig::identifiable(2)).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xBE7C);
+    let gen = FailureGenerator::links_only().with_min_rate(0.05);
+    let scenario = gen.sample(&ft, 10, &mut rng);
+    let mut fabric = Fabric::new(&ft, 1);
+    fabric.apply_scenario(&scenario);
+    let obs = probe_matrix_window(&ft, &matrix, &fabric, 30, &mut rng);
+    let cfg = detector_bench::bench_pll();
+    let omp = OmpConfig::default();
+
+    let mut g = c.benchmark_group("localization_fattree18_10failures");
+    g.sample_size(20);
+    g.bench_function("pll", |b| b.iter(|| localize(&matrix, &obs, &cfg)));
+    g.bench_function("tomo", |b| b.iter(|| localize_tomo(&matrix, &obs, &cfg)));
+    g.bench_function("score", |b| b.iter(|| localize_score(&matrix, &obs, &cfg)));
+    g.bench_function("omp", |b| {
+        b.iter(|| localize_omp(&matrix, &obs, &cfg, &omp))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pll);
+criterion_main!(benches);

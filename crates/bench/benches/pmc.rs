@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for probe-matrix construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detector_core::pmc::{construct, PmcConfig};
+use detector_topology::{construct_symmetric, DcnTopology, Fattree, Vl2};
+
+fn bench_pmc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pmc");
+    g.sample_size(10);
+
+    let ft6 = Fattree::new(6).unwrap();
+    g.bench_function("fattree6_exhaustive_lazy_(1,1)", |b| {
+        b.iter(|| {
+            construct(
+                ft6.probe_links(),
+                ft6.enumerate_candidates(),
+                &PmcConfig::identifiable(1),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("fattree6_exhaustive_strawman_(1,1)", |b| {
+        b.iter(|| {
+            construct(
+                ft6.probe_links(),
+                ft6.enumerate_candidates(),
+                &PmcConfig::identifiable(1).strawman(),
+            )
+            .unwrap()
+        })
+    });
+
+    for k in [8u32, 16, 32] {
+        let ft = Fattree::new(k).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("fattree_symmetric_(1,1)", k),
+            &ft,
+            |b, ft| b.iter(|| construct_symmetric(ft, &PmcConfig::identifiable(1)).unwrap()),
+        );
+    }
+
+    let vl2 = Vl2::new(16, 12, 8).unwrap();
+    g.bench_function("vl2(16,12,8)_symmetric_(1,1)", |b| {
+        b.iter(|| construct_symmetric(&vl2, &PmcConfig::identifiable(1)).unwrap())
+    });
+
+    let ft16 = Fattree::new(16).unwrap();
+    g.bench_function("fattree16_symmetric_(3,2)", |b| {
+        b.iter(|| construct_symmetric(&ft16, &PmcConfig::new(3, 2)).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pmc);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Fig. 5 — accuracy and false positives of deTector, Pingmesh and
+//! NetNORAD as a function of probes per minute, with one failure injected
+//! per experiment minute (4-ary Fattree testbed).
+//!
+//! Probe counts include ping and reply, and — for the baselines — the
+//! *extra localization round* (Netbouncer for Pingmesh, fbtracert for
+//! NetNORAD) that deTector does not need. Half of the injected failures
+//! are *transient* (§2, Table 1): they clear after the detection window,
+//! so the baselines' post-alarm round probes a healed fabric — deTector
+//! localizes from the same observations that detected the loss and is
+//! unaffected. The paper's headline: for 98 % accuracy deTector needs
+//! ~3.9× fewer probes than Pingmesh and ~1.9× fewer than NetNORAD, and
+//! localizes ~30 s earlier.
+
+use detector_baselines::{fbtracert_localize, netbouncer_localize, BaselineConfig, BaselineSystem};
+use detector_bench::{pct, Scale, Table};
+use detector_core::pll::{evaluate_diagnosis, LocalizationMetrics};
+use detector_core::pmc::PmcConfig;
+use detector_simnet::{Fabric, FailureGenerator};
+use detector_system::{MonitorRun, SystemConfig};
+use detector_topology::Fattree;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fraction of failures that clear before a post-alarm localization round
+/// can probe them (transient failures: bit errors, non-atomic rule
+/// updates, in-progress upgrades — §2).
+const TRANSIENT_FRACTION: f64 = 0.2;
+
+struct Point {
+    probes_per_min: f64,
+    metrics: LocalizationMetrics,
+    latency_s: f64,
+}
+
+fn detector_points(
+    ft: &Fattree,
+    gen: &FailureGenerator,
+    rates: &[f64],
+    minutes: usize,
+) -> Vec<Point> {
+    let mut out = Vec::new();
+    for &rate in rates {
+        let cfg = SystemConfig::default()
+            .with_rate(rate)
+            .with_pmc(PmcConfig::new(3, 1));
+        let mut run = MonitorRun::new(ft, cfg).expect("system must boot");
+        let mut rng = SmallRng::seed_from_u64(0xF15_00 + (rate * 10.0) as u64);
+        let mut metrics = LocalizationMetrics::zero();
+        let mut probes = 0u64;
+        for minute in 0..minutes {
+            let mut fabric = Fabric::new(ft, 500 + minute as u64);
+            let scenario = gen.sample(ft, 1, &mut rng);
+            fabric.apply_scenario(&scenario);
+            let w1 = run.run_window(&fabric, &mut rng);
+            let w2 = run.run_window(&fabric, &mut rng);
+            probes += (w1.probes_sent + w2.probes_sent) * 2;
+            let m = evaluate_diagnosis(&w2.diagnosis.suspect_links(), &scenario.ground_truth(ft));
+            metrics.accumulate(&m);
+        }
+        out.push(Point {
+            probes_per_min: probes as f64 / minutes as f64,
+            metrics,
+            // Failures are diagnosed at the end of the 30 s window in
+            // which they occur: no extra localization round.
+            latency_s: 30.0,
+        });
+    }
+    out
+}
+
+enum Baseline {
+    Pingmesh,
+    NetNorad,
+}
+
+fn baseline_points(
+    ft: &Fattree,
+    gen: &FailureGenerator,
+    which: Baseline,
+    budgets: &[u64],
+    minutes: usize,
+) -> Vec<Point> {
+    let bcfg = BaselineConfig::default();
+    let system = match which {
+        Baseline::Pingmesh => BaselineSystem::pingmesh(ft, bcfg),
+        Baseline::NetNorad => BaselineSystem::netnorad(ft, bcfg, 4),
+    };
+    let mut out = Vec::new();
+    for &budget in budgets {
+        let mut rng = SmallRng::seed_from_u64(0xF15_10 + budget);
+        let mut metrics = LocalizationMetrics::zero();
+        let mut probes = 0u64;
+        for minute in 0..minutes {
+            let mut fabric = Fabric::new(ft, 900 + minute as u64);
+            let scenario = gen.sample(ft, 1, &mut rng);
+            fabric.apply_scenario(&scenario);
+            // Two detection windows per minute.
+            let d1 = system.detect_window(&fabric, budget / 2, &mut rng);
+            let d2 = system.detect_window(&fabric, budget / 2, &mut rng);
+            probes += d1.probes_used + d2.probes_used;
+            // Localization round on the suspects: an additional window in
+            // wall-clock terms (the 30 s penalty the paper measures) — by
+            // which time a transient failure is gone.
+            let transient = rng.gen::<f64>() < TRANSIENT_FRACTION;
+            if transient {
+                fabric.clear_failures();
+            }
+            let suspects = if d2.suspects.is_empty() {
+                &d1.suspects
+            } else {
+                &d2.suspects
+            };
+            // The sweep is budgeted like everything else: at most half the
+            // per-minute probe budget in round trips.
+            let loc_budget = budget / 4;
+            let diag = match which {
+                Baseline::Pingmesh => {
+                    netbouncer_localize(ft, &fabric, suspects, &bcfg, loc_budget, &mut rng)
+                }
+                Baseline::NetNorad => {
+                    fbtracert_localize(ft, &fabric, suspects, &bcfg, loc_budget, &mut rng)
+                }
+            };
+            probes += diag.probes_used;
+            let m = evaluate_diagnosis(&diag.links, &scenario.ground_truth(ft));
+            metrics.accumulate(&m);
+        }
+        out.push(Point {
+            probes_per_min: probes as f64 / minutes as f64,
+            metrics,
+            latency_s: 60.0,
+        });
+    }
+    out
+}
+
+fn print_points(name: &str, points: &[Point]) {
+    println!("{name}:");
+    let mut table = Table::new(vec![
+        "probes/min",
+        "accuracy %",
+        "false pos %",
+        "localization latency (s)",
+    ]);
+    for p in points {
+        table.row(vec![
+            format!("{:.0}", p.probes_per_min),
+            pct(p.metrics.accuracy),
+            pct(p.metrics.false_positive_ratio),
+            format!("{:.0}", p.latency_s),
+        ]);
+    }
+    table.print();
+    println!();
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let minutes = match scale {
+        Scale::Quick => 40usize,
+        Scale::Paper => 200,
+    };
+    let ft = Fattree::new(4).unwrap();
+    let gen = FailureGenerator {
+        switch_fraction: 0.1,
+        ..FailureGenerator::default()
+    }
+    .with_min_rate(0.05);
+
+    println!("Fig. 5: accuracy & false positives vs probes/minute, one failure per minute\n");
+    let det = detector_points(&ft, &gen, &[0.5, 1.0, 2.0, 4.0, 8.0], minutes);
+    print_points("deTector (3-coverage, 1-identifiability)", &det);
+    let pm = baseline_points(
+        &ft,
+        &gen,
+        Baseline::Pingmesh,
+        &[2000, 5000, 12000, 30000],
+        minutes,
+    );
+    print_points("Pingmesh (+ Netbouncer localization)", &pm);
+    let nn = baseline_points(
+        &ft,
+        &gen,
+        Baseline::NetNorad,
+        &[2000, 5000, 12000, 30000],
+        minutes,
+    );
+    print_points("NetNORAD (+ fbtracert localization)", &nn);
+
+    // Headline factor: probes needed for >= 95% accuracy.
+    let need = |pts: &[Point]| -> Option<f64> {
+        pts.iter()
+            .filter(|p| p.metrics.accuracy >= 0.95)
+            .map(|p| p.probes_per_min)
+            .fold(None, |a: Option<f64>, b| Some(a.map_or(b, |x| x.min(b))))
+    };
+    if let (Some(d), Some(p), Some(n)) = (need(&det), need(&pm), need(&nn)) {
+        println!(
+            "Probes/min for >=95% accuracy: deTector {:.0}, Pingmesh {:.0} ({:.1}x), NetNORAD {:.0} ({:.1}x)",
+            d, p, p / d, n, n / d
+        );
+    } else {
+        println!("(some systems did not reach 95% accuracy in this sweep)");
+    }
+    println!("\nShape check (paper Fig. 5): deTector reaches high accuracy with several");
+    println!("times fewer probes; baselines need an extra localization round (+30 s).");
+}

@@ -1,0 +1,92 @@
+//! Detection-to-localization latency: deTector names the faulty link at
+//! the end of the 30-second window that detected it; Pingmesh/NetNORAD
+//! must first finish a detection window, then run an extra localization
+//! round — the "30 seconds in advance" the paper measures in §6.3.
+//!
+//! This binary measures the full timeline on the simulated clock: failure
+//! injected at t = 0 (start of a window), then the first instant each
+//! system can hand the operator a *link* (not just a suspect server
+//! pair).
+
+use detector_baselines::{netbouncer_localize, BaselineConfig, BaselineSystem};
+use detector_bench::{Scale, Table};
+use detector_simnet::{Fabric, FailureGenerator, FailureScenario};
+use detector_system::{MonitorRun, SystemConfig};
+use detector_topology::Fattree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const WINDOW_S: u64 = 30;
+
+fn main() {
+    let scale = Scale::from_env();
+    let episodes = match scale {
+        Scale::Quick => 30usize,
+        Scale::Paper => 200,
+    };
+    let ft = Fattree::new(4).unwrap();
+    let gen = FailureGenerator::links_only().with_min_rate(0.1);
+    let bcfg = BaselineConfig::default();
+
+    let mut rng = SmallRng::seed_from_u64(0x1A7E);
+    let mut det_sum = 0u64;
+    let mut det_hits = 0usize;
+    let mut pm_sum = 0u64;
+    let mut pm_hits = 0usize;
+
+    for e in 0..episodes {
+        let scenario: FailureScenario = gen.sample(&ft, 1, &mut rng);
+        let truth = scenario.ground_truth(&ft);
+        let mut fabric = Fabric::new(&ft, 6000 + e as u64);
+        fabric.apply_scenario(&scenario);
+
+        // deTector: windows run back to back; the diagnosis at the end of
+        // window w is available at (w+1)·30 s after injection.
+        let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+        for w in 0..4u64 {
+            let res = run.run_window(&fabric, &mut rng);
+            let found = truth
+                .iter()
+                .any(|t| res.diagnosis.suspect_links().contains(t));
+            if found {
+                det_sum += (w + 1) * WINDOW_S;
+                det_hits += 1;
+                break;
+            }
+        }
+
+        // Pingmesh: detection windows until a suspect pair appears, then
+        // one more window for the Netbouncer sweep.
+        let pm = BaselineSystem::pingmesh(&ft, bcfg);
+        for w in 0..4u64 {
+            let det = pm.detect_window(&fabric, 8000, &mut rng);
+            if det.suspects.is_empty() {
+                continue;
+            }
+            let loc = netbouncer_localize(&ft, &fabric, &det.suspects, &bcfg, u64::MAX, &mut rng);
+            if truth.iter().any(|t| loc.links.contains(t)) {
+                // Detection window (w+1) plus the localization round.
+                pm_sum += (w + 2) * WINDOW_S;
+                pm_hits += 1;
+            }
+            break;
+        }
+    }
+
+    println!("Localization latency from failure injection ({episodes} episodes)\n");
+    let mut table = Table::new(vec!["system", "localized %", "mean latency (s)"]);
+    table.row(vec![
+        "deTector".to_string(),
+        format!("{:.0}", 100.0 * det_hits as f64 / episodes as f64),
+        format!("{:.0}", det_sum as f64 / det_hits.max(1) as f64),
+    ]);
+    table.row(vec![
+        "Pingmesh+Netbouncer".to_string(),
+        format!("{:.0}", 100.0 * pm_hits as f64 / episodes as f64),
+        format!("{:.0}", pm_sum as f64 / pm_hits.max(1) as f64),
+    ]);
+    table.print();
+    println!();
+    println!("Shape check (paper §6.3): deTector localizes ~30 s earlier because no");
+    println!("additional probing round is needed after detection.");
+}

@@ -1,0 +1,322 @@
+//! The PLL greedy (§5.3, Steps 1–5).
+
+use std::collections::HashSet;
+
+use super::rate::estimate_rate;
+use super::{preprocess, PllConfig};
+use crate::pmc::ProbeMatrix;
+use crate::types::{LinkId, PathId, PathObservation};
+
+/// A link blamed by a localization algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuspectLink {
+    /// The blamed physical link.
+    pub link: LinkId,
+    /// Estimated loss rate on the link (MLE under the assumption that the
+    /// losses of the paths this link explains happened on this link).
+    pub estimated_loss_rate: f64,
+    /// Hit ratio of the link at selection time: lossy observed paths
+    /// through the link / all observed paths through the link.
+    pub hit_ratio: f64,
+    /// Number of lossy paths this link explained.
+    pub explained_paths: u32,
+    /// Number of lost packets this link explained.
+    pub explained_losses: u64,
+}
+
+/// Result of a localization run.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnosis {
+    /// Blamed links in selection order (first = strongest explanation).
+    pub suspects: Vec<SuspectLink>,
+    /// Lossy paths whose losses no suspect link explains (e.g. all their
+    /// links stayed below the hit-ratio threshold).
+    pub unexplained_paths: Vec<PathId>,
+}
+
+impl Diagnosis {
+    /// Blamed link ids, sorted.
+    pub fn suspect_links(&self) -> Vec<LinkId> {
+        let mut v: Vec<LinkId> = self.suspects.iter().map(|s| s.link).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True if nothing was blamed and nothing was left unexplained.
+    pub fn is_clean(&self) -> bool {
+        self.suspects.is_empty() && self.unexplained_paths.is_empty()
+    }
+}
+
+/// Pre-indexed view of the observations against the probe matrix, shared
+/// by PLL and the baseline localizers.
+pub(super) struct ObservedMatrix {
+    /// Pre-processed observations.
+    pub obs: Vec<PathObservation>,
+    /// For every physical link: indices into `obs` of observed paths
+    /// through the link.
+    pub link_paths: Vec<Vec<u32>>,
+    /// Links that lie on at least one lossy observed path.
+    pub candidate_links: Vec<LinkId>,
+}
+
+impl ObservedMatrix {
+    pub(super) fn build(
+        matrix: &ProbeMatrix,
+        observations: &[PathObservation],
+        cfg: &PllConfig,
+    ) -> Self {
+        let obs = preprocess(observations, cfg, &HashSet::new());
+        let mut link_paths: Vec<Vec<u32>> = vec![Vec::new(); matrix.num_links];
+        for (oi, o) in obs.iter().enumerate() {
+            let Some(path) = matrix.paths.get(o.path.index()) else {
+                continue;
+            };
+            debug_assert_eq!(path.id, o.path, "matrix paths must be densely numbered");
+            for l in path.links() {
+                link_paths[l.index()].push(oi as u32);
+            }
+        }
+        let mut candidate_links: Vec<LinkId> = Vec::new();
+        for (li, paths) in link_paths.iter().enumerate() {
+            if paths.iter().any(|&oi| obs[oi as usize].is_lossy()) {
+                candidate_links.push(LinkId(li as u32));
+            }
+        }
+        Self {
+            obs,
+            link_paths,
+            candidate_links,
+        }
+    }
+
+    /// Hit ratio of a link: lossy observed paths / all observed paths.
+    pub(super) fn hit_ratio(&self, link: LinkId) -> f64 {
+        let paths = &self.link_paths[link.index()];
+        if paths.is_empty() {
+            return 0.0;
+        }
+        let lossy = paths
+            .iter()
+            .filter(|&&oi| self.obs[oi as usize].is_lossy())
+            .count();
+        lossy as f64 / paths.len() as f64
+    }
+}
+
+/// Localizes packet losses with the PLL algorithm.
+///
+/// Observations are pre-processed first (noise filtering, §5.1); callers
+/// that need watchdog-based outlier exclusion should run
+/// [`preprocess`](super::preprocess) with their exclusion set beforehand.
+///
+/// The greedy repeatedly blames, among the links whose *hit ratio* meets
+/// `cfg.hit_ratio_threshold`, the link explaining the most still-unexplained
+/// lost packets, until every lossy path is explained or no candidate
+/// remains (remaining paths are reported in
+/// [`Diagnosis::unexplained_paths`]).
+pub fn localize(
+    matrix: &ProbeMatrix,
+    observations: &[PathObservation],
+    cfg: &PllConfig,
+) -> Diagnosis {
+    let om = ObservedMatrix::build(matrix, observations, cfg);
+    let mut unexplained: Vec<bool> = om.obs.iter().map(|o| o.is_lossy()).collect();
+    let mut remaining: u64 = om.obs.iter().map(|o| o.lost).sum();
+    let mut suspects = Vec::new();
+
+    // Hit ratios are computed once: explanation does not change the
+    // underlying observation data, only what remains to be explained.
+    let hit: Vec<(LinkId, f64)> = om
+        .candidate_links
+        .iter()
+        .map(|&l| (l, om.hit_ratio(l)))
+        .collect();
+
+    while remaining > 0 {
+        // Step 3: score = lost packets this link could still explain.
+        let mut best: Option<(u64, f64, LinkId)> = None;
+        for &(l, h) in &hit {
+            if h < cfg.hit_ratio_threshold {
+                continue;
+            }
+            let score: u64 = om.link_paths[l.index()]
+                .iter()
+                .filter(|&&oi| unexplained[oi as usize])
+                .map(|&oi| om.obs[oi as usize].lost)
+                .sum();
+            if score == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bh, bl)) => {
+                    (score, h, std::cmp::Reverse(l)) > (bs, bh, std::cmp::Reverse(bl))
+                }
+            };
+            if better {
+                best = Some((score, h, l));
+            }
+        }
+        let Some((score, h, link)) = best else { break };
+
+        // Step 4: blame the link and explain its lossy paths.
+        let mut explained_paths = 0u32;
+        let mut samples: Vec<(u64, u64)> = Vec::new();
+        for &oi in &om.link_paths[link.index()] {
+            let oi = oi as usize;
+            if unexplained[oi] {
+                unexplained[oi] = false;
+                explained_paths += 1;
+                remaining -= om.obs[oi].lost;
+                samples.push((om.obs[oi].sent, om.obs[oi].lost));
+            }
+        }
+        suspects.push(SuspectLink {
+            link,
+            estimated_loss_rate: estimate_rate(&samples),
+            hit_ratio: h,
+            explained_paths,
+            explained_losses: score,
+        });
+    }
+
+    let unexplained_paths = om
+        .obs
+        .iter()
+        .enumerate()
+        .filter(|(oi, _)| unexplained[*oi])
+        .map(|(_, o)| o.path)
+        .collect();
+    Diagnosis {
+        suspects,
+        unexplained_paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ProbePath;
+
+    /// A 4-link matrix: p0={0,1}, p1={0,2}, p2={2,3}, p3={3}, p4={1}.
+    fn matrix() -> ProbeMatrix {
+        let paths = vec![
+            ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+            ProbePath::from_links(1, vec![LinkId(0), LinkId(2)]),
+            ProbePath::from_links(2, vec![LinkId(2), LinkId(3)]),
+            ProbePath::from_links(3, vec![LinkId(3)]),
+            ProbePath::from_links(4, vec![LinkId(1)]),
+        ];
+        ProbeMatrix::from_paths(4, paths)
+    }
+
+    fn obs(rows: &[(u32, u64, u64)]) -> Vec<PathObservation> {
+        rows.iter()
+            .map(|&(p, sent, lost)| PathObservation::new(PathId(p), sent, lost))
+            .collect()
+    }
+
+    #[test]
+    fn single_full_loss_is_localized() {
+        // Link 0 fully bad: p0 and p1 lose everything, others clean.
+        let d = localize(
+            &matrix(),
+            &obs(&[
+                (0, 100, 100),
+                (1, 100, 100),
+                (2, 100, 0),
+                (3, 100, 0),
+                (4, 100, 0),
+            ]),
+            &PllConfig::default(),
+        );
+        assert_eq!(d.suspect_links(), vec![LinkId(0)]);
+        let s = &d.suspects[0];
+        assert!((s.estimated_loss_rate - 1.0).abs() < 1e-9);
+        assert_eq!(s.explained_paths, 2);
+        assert!(d.unexplained_paths.is_empty());
+    }
+
+    #[test]
+    fn hit_ratio_filters_partial_suspects() {
+        // Only p0 is lossy. Links 0 and 1 both lie on it; link 0 has hit
+        // ratio 1/2 (p1 clean), link 1 has 1/2 (p4 clean). With the 0.6
+        // threshold nothing qualifies and the loss stays unexplained.
+        let d = localize(
+            &matrix(),
+            &obs(&[
+                (0, 100, 40),
+                (1, 100, 0),
+                (2, 100, 0),
+                (3, 100, 0),
+                (4, 100, 0),
+            ]),
+            &PllConfig::default(),
+        );
+        assert!(d.suspects.is_empty());
+        assert_eq!(d.unexplained_paths, vec![PathId(0)]);
+
+        // Lowering the threshold lets the greedy blame one of them.
+        let d = localize(
+            &matrix(),
+            &obs(&[
+                (0, 100, 40),
+                (1, 100, 0),
+                (2, 100, 0),
+                (3, 100, 0),
+                (4, 100, 0),
+            ]),
+            &PllConfig::default().with_hit_ratio(0.5),
+        );
+        assert_eq!(d.suspects.len(), 1);
+    }
+
+    #[test]
+    fn two_failures_are_both_blamed() {
+        // Links 1 and 3 bad (partial): p0, p4 lossy (via 1); p2, p3 lossy
+        // (via 3).
+        let d = localize(
+            &matrix(),
+            &obs(&[
+                (0, 100, 30),
+                (1, 100, 0),
+                (2, 100, 35),
+                (3, 100, 30),
+                (4, 100, 25),
+            ]),
+            &PllConfig::default(),
+        );
+        assert_eq!(d.suspect_links(), vec![LinkId(1), LinkId(3)]);
+        assert!(d.unexplained_paths.is_empty());
+    }
+
+    #[test]
+    fn noise_produces_clean_diagnosis() {
+        let d = localize(
+            &matrix(),
+            &obs(&[(0, 100_000, 3), (1, 100_000, 5), (2, 100_000, 0)]),
+            &PllConfig::default(),
+        );
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn rate_estimate_reflects_partial_loss() {
+        // Link 3 drops ~30%.
+        let d = localize(
+            &matrix(),
+            &obs(&[
+                (0, 100, 0),
+                (1, 100, 0),
+                (2, 100, 31),
+                (3, 100, 29),
+                (4, 100, 0),
+            ]),
+            &PllConfig::default(),
+        );
+        assert_eq!(d.suspect_links(), vec![LinkId(3)]);
+        let r = d.suspects[0].estimated_loss_rate;
+        assert!((r - 0.30).abs() < 0.02, "estimated {r}");
+    }
+}

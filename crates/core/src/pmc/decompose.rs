@@ -1,0 +1,176 @@
+//! Problem decomposition, Observation 1 of §4.3.
+//!
+//! Build the bipartite path–link graph implicitly via a union–find over
+//! links: every path unions the links it covers; connected components of
+//! links (with their paths) become independent subproblems that can be
+//! solved in parallel. In a k-ary Fattree the inter-switch links split into
+//! k/2 components, one per aggregation-switch column.
+
+use std::collections::HashMap;
+
+use crate::types::{LinkId, ProbePath};
+
+/// One independent PMC subproblem.
+#[derive(Clone, Debug)]
+pub struct Subproblem {
+    /// Sorted link universe of the subproblem.
+    pub universe: Vec<LinkId>,
+    /// Candidate paths entirely within the universe.
+    pub candidates: Vec<ProbePath>,
+}
+
+impl Subproblem {
+    /// Wraps a candidate set as a single subproblem (no decomposition);
+    /// the universe is inferred from the links the candidates cover.
+    pub fn whole(candidates: Vec<ProbePath>) -> Self {
+        let mut universe: Vec<LinkId> = candidates
+            .iter()
+            .flat_map(|p| p.links().iter().copied())
+            .collect();
+        universe.sort_unstable();
+        universe.dedup();
+        Self {
+            universe,
+            candidates,
+        }
+    }
+}
+
+struct UnionFind {
+    parent: HashMap<u32, u32>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        Self {
+            parent: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Deterministic: smaller id becomes the root.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(hi, lo);
+        }
+    }
+}
+
+/// Splits a candidate set into independent subproblems.
+///
+/// Paths covering no links are dropped. Components are returned in
+/// ascending order of their smallest link id, so decomposition is fully
+/// deterministic.
+pub fn decompose(candidates: Vec<ProbePath>) -> Vec<Subproblem> {
+    let mut uf = UnionFind::new();
+    for p in &candidates {
+        let ls = p.links();
+        if ls.is_empty() {
+            continue;
+        }
+        let first = ls[0].0;
+        uf.find(first);
+        for l in &ls[1..] {
+            uf.union(first, l.0);
+        }
+    }
+
+    // Map component roots to dense indices ordered by root id (the root is
+    // always the smallest link id in the component).
+    let mut roots: Vec<u32> = {
+        let keys: Vec<u32> = uf.parent.keys().copied().collect();
+        let mut rs: Vec<u32> = keys.into_iter().map(|k| uf.find(k)).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        rs
+    };
+    roots.sort_unstable();
+    let root_index: HashMap<u32, usize> = roots.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+
+    let mut subs: Vec<Subproblem> = roots
+        .iter()
+        .map(|_| Subproblem {
+            universe: Vec::new(),
+            candidates: Vec::new(),
+        })
+        .collect();
+
+    // Assign links to component universes.
+    let link_ids: Vec<u32> = uf.parent.keys().copied().collect();
+    let mut sorted_links = link_ids;
+    sorted_links.sort_unstable();
+    for l in sorted_links {
+        let r = uf.find(l);
+        subs[root_index[&r]].universe.push(LinkId(l));
+    }
+
+    for p in candidates {
+        if p.links().is_empty() {
+            continue;
+        }
+        let r = uf.find(p.links()[0].0);
+        subs[root_index[&r]].candidates.push(p);
+    }
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(id: u32, ls: &[u32]) -> ProbePath {
+        ProbePath::from_links(id, ls.iter().map(|&l| LinkId(l)).collect())
+    }
+
+    #[test]
+    fn disjoint_paths_split_into_components() {
+        let subs = decompose(vec![path(0, &[0, 1]), path(1, &[2, 3]), path(2, &[1, 0])]);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].universe, vec![LinkId(0), LinkId(1)]);
+        assert_eq!(subs[0].candidates.len(), 2);
+        assert_eq!(subs[1].universe, vec![LinkId(2), LinkId(3)]);
+        assert_eq!(subs[1].candidates.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_paths_merge() {
+        let subs = decompose(vec![path(0, &[0, 1]), path(1, &[1, 2]), path(2, &[2, 3])]);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].universe.len(), 4);
+        assert_eq!(subs[0].candidates.len(), 3);
+    }
+
+    #[test]
+    fn empty_paths_are_dropped() {
+        let subs = decompose(vec![path(0, &[]), path(1, &[5])]);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].candidates.len(), 1);
+    }
+
+    #[test]
+    fn whole_infers_universe() {
+        let sp = Subproblem::whole(vec![path(0, &[3, 1]), path(1, &[2])]);
+        assert_eq!(sp.universe, vec![LinkId(1), LinkId(2), LinkId(3)]);
+    }
+
+    #[test]
+    fn deterministic_component_order() {
+        let a = decompose(vec![path(0, &[9, 8]), path(1, &[0, 1]), path(2, &[4])]);
+        let b = decompose(vec![path(2, &[4]), path(0, &[8, 9]), path(1, &[1, 0])]);
+        let ua: Vec<_> = a.iter().map(|s| s.universe.clone()).collect();
+        let ub: Vec<_> = b.iter().map(|s| s.universe.clone()).collect();
+        assert_eq!(ua, ub);
+    }
+}

@@ -1,0 +1,324 @@
+//! Lazy score updates (CELF-style), Observation 2 of §4.3.
+//!
+//! Path scores are non-decreasing as the selection proceeds, so a stale
+//! score is a lower bound on the true score. We keep a min-heap keyed by
+//! (possibly stale) scores, re-evaluate only the top entry, and accept it
+//! if its fresh score is still no larger than the next entry's stale key —
+//! in which case it is a true minimum. With virtual links (β ≥ 2) rare
+//! corner cases can violate monotonicity; the loop then degrades into a
+//! near-greedy heuristic, while the achieved (α, β) targets remain exactly
+//! verified by the selection state.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use super::provider::{CandidateProvider, ExhaustiveProvider};
+use super::state::SelectionState;
+use super::{check_deadline, PmcConfig, PmcError, SubSolution};
+use crate::types::{LinkId, ProbePath};
+
+struct Entry {
+    score: i64,
+    order: u32,
+    path: ProbePath,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.order == other.order
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want the smallest score
+        // (and, on ties, the earliest inserted path) on top.
+        other
+            .score
+            .cmp(&self.score)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+
+/// Runs the lazy greedy over a materialized candidate set.
+pub(crate) fn run(
+    universe: Vec<LinkId>,
+    candidates: Vec<ProbePath>,
+    cfg: &PmcConfig,
+    deadline: Option<Instant>,
+) -> Result<SubSolution, PmcError> {
+    run_with_provider(
+        ExhaustiveProvider::with_universe(universe, candidates),
+        cfg,
+        deadline,
+    )
+}
+
+/// Runs the lazy greedy, pulling candidate batches on demand.
+pub(crate) fn run_with_provider<P: CandidateProvider>(
+    mut provider: P,
+    cfg: &PmcConfig,
+    deadline: Option<Instant>,
+) -> Result<SubSolution, PmcError> {
+    let start = Instant::now();
+    let universe = provider.universe().to_vec();
+    let mut state = SelectionState::new(&universe, cfg)?;
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut order = 0u32;
+    let mut exhausted = false;
+    let mut pulled = 0u64;
+    // Cap on how many candidates may be pulled ahead of need: keeps peak
+    // memory bounded on astronomically large providers while letting the
+    // greedy see enough variety to stay close to the exhaustive solution.
+    let pull_budget = (universe.len() as u64 * 64).max(1 << 16);
+    // Best (lowest) fresh score seen in the most recently pulled batch; as
+    // long as fresh rounds keep producing scores at this level, a pooled
+    // candidate scoring worse should not be committed before pulling more.
+    let mut batch_min = i64::MAX;
+
+    while !state.targets_met() {
+        check_deadline(deadline, start)?;
+
+        if heap.is_empty() {
+            if exhausted {
+                break;
+            }
+            if !pull_batch(
+                &mut provider,
+                &mut state,
+                &mut heap,
+                &mut order,
+                &mut pulled,
+                &mut batch_min,
+                cfg,
+                deadline,
+                start,
+            )? {
+                exhausted = true;
+            }
+            continue;
+        }
+
+        let top = heap.pop().expect("heap checked non-empty");
+        let e = state.evaluate(&top.path)?;
+        if !e.useful(cfg.beta) {
+            // Permanently useless (see greedy.rs); drop it.
+            continue;
+        }
+
+        // Pull-ahead: if the best pooled candidate scores worse than what
+        // fresh provider rounds have recently offered, fetch more rounds
+        // before committing (bounded by the pull budget). This keeps the
+        // incremental greedy close to the exhaustive one without ever
+        // materializing the full candidate set.
+        if e.score > batch_min && !exhausted && pulled < pull_budget {
+            heap.push(Entry {
+                score: e.score,
+                order: top.order,
+                path: top.path,
+            });
+            if !pull_batch(
+                &mut provider,
+                &mut state,
+                &mut heap,
+                &mut order,
+                &mut pulled,
+                &mut batch_min,
+                cfg,
+                deadline,
+                start,
+            )? {
+                exhausted = true;
+            }
+            continue;
+        }
+
+        let next_key = heap.peek().map(|t| t.score);
+        if next_key.map_or(true, |k| e.score <= k) {
+            state.select(&top.path)?;
+        } else {
+            heap.push(Entry {
+                score: e.score,
+                order: top.order,
+                path: top.path,
+            });
+        }
+    }
+
+    let targets_met = state.targets_met();
+    let coverage = state.min_coverage();
+    let cells = state.cells();
+    Ok(SubSolution {
+        paths: state.into_selected(),
+        targets_met,
+        coverage,
+        cells,
+    })
+}
+
+/// Pulls one batch from the provider into the heap; returns false when the
+/// provider is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn pull_batch<P: CandidateProvider>(
+    provider: &mut P,
+    state: &mut SelectionState,
+    heap: &mut BinaryHeap<Entry>,
+    order: &mut u32,
+    pulled: &mut u64,
+    batch_min: &mut i64,
+    cfg: &PmcConfig,
+    deadline: Option<Instant>,
+    start: Instant,
+) -> Result<bool, PmcError> {
+    let batch = provider.next_batch();
+    if batch.is_empty() {
+        *batch_min = i64::MAX;
+        return Ok(false);
+    }
+    let mut evals = 0usize;
+    let mut min_score = i64::MAX;
+    for p in batch {
+        if p.is_empty() {
+            continue;
+        }
+        let e = state.evaluate(&p)?;
+        evals += 1;
+        if evals % 4096 == 0 {
+            check_deadline(deadline, start)?;
+        }
+        if e.useful(cfg.beta) {
+            min_score = min_score.min(e.score);
+            heap.push(Entry {
+                score: e.score,
+                order: *order,
+                path: p,
+            });
+            *order += 1;
+            *pulled += 1;
+        }
+    }
+    *batch_min = min_score;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn links(n: u32) -> Vec<LinkId> {
+        (0..n).map(LinkId).collect()
+    }
+
+    fn path(id: u32, ls: &[u32]) -> ProbePath {
+        ProbePath::from_links(id, ls.iter().map(|&l| LinkId(l)).collect())
+    }
+
+    #[test]
+    fn lazy_matches_strawman_on_line_graph() {
+        // Chain candidates over 6 links: nested prefixes plus singletons.
+        let mut candidates = Vec::new();
+        let mut id = 0;
+        for i in 1..=6u32 {
+            candidates.push(path(id, &(0..i).collect::<Vec<_>>()));
+            id += 1;
+        }
+        for i in 0..6u32 {
+            candidates.push(path(id, &[i]));
+            id += 1;
+        }
+        let lazy = run(
+            links(6),
+            candidates.clone(),
+            &PmcConfig::identifiable(1),
+            None,
+        )
+        .unwrap();
+        let straw = super::super::greedy::run(
+            links(6),
+            candidates,
+            &PmcConfig::identifiable(1).strawman(),
+            None,
+        )
+        .unwrap();
+        assert!(lazy.targets_met);
+        assert!(straw.targets_met);
+        assert_eq!(lazy.paths.len(), straw.paths.len());
+    }
+
+    #[test]
+    fn provider_batches_are_pulled_on_demand() {
+        struct TwoBatches {
+            universe: Vec<LinkId>,
+            stage: u32,
+        }
+        impl CandidateProvider for TwoBatches {
+            fn universe(&self) -> &[LinkId] {
+                &self.universe
+            }
+            fn next_batch(&mut self) -> Vec<ProbePath> {
+                self.stage += 1;
+                match self.stage {
+                    1 => vec![ProbePath::from_links(0, vec![LinkId(0), LinkId(1)])],
+                    2 => vec![ProbePath::from_links(1, vec![LinkId(0)])],
+                    _ => Vec::new(),
+                }
+            }
+        }
+        let sol = run_with_provider(
+            TwoBatches {
+                universe: links(2),
+                stage: 0,
+            },
+            &PmcConfig::identifiable(1),
+            None,
+        )
+        .unwrap();
+        assert!(sol.targets_met);
+        assert_eq!(sol.paths.len(), 2);
+    }
+
+    #[test]
+    fn exhausted_provider_yields_best_effort() {
+        let sol = run(
+            links(3),
+            vec![path(0, &[0, 1])],
+            &PmcConfig::identifiable(1),
+            None,
+        )
+        .unwrap();
+        assert!(!sol.targets_met);
+        assert_eq!(sol.paths.len(), 1);
+    }
+
+    #[test]
+    fn heap_orders_by_score_then_insertion() {
+        let mut h = BinaryHeap::new();
+        h.push(Entry {
+            score: 5,
+            order: 0,
+            path: path(0, &[0]),
+        });
+        h.push(Entry {
+            score: -1,
+            order: 1,
+            path: path(1, &[1]),
+        });
+        h.push(Entry {
+            score: -1,
+            order: 2,
+            path: path(2, &[2]),
+        });
+        let first = h.pop().unwrap();
+        assert_eq!(first.score, -1);
+        assert_eq!(first.order, 1);
+    }
+}

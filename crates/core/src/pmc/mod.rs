@@ -1,0 +1,526 @@
+//! Probe Matrix Construction (PMC) — §4 of the paper.
+//!
+//! Given a set of candidate probe paths (rows of the routing matrix `R`)
+//! over a universe of physical links, PMC greedily selects a minimal set of
+//! paths forming a probe matrix `P` that achieves:
+//!
+//! * **α-coverage** — every physical link lies on at least α selected paths;
+//! * **β-identifiability** — any simultaneous failure of at most β links
+//!   produces a distinct set of lossy paths, so failures can be localized
+//!   from end-to-end observations alone.
+//!
+//! β-identifiability is reduced to 1-identifiability over an *extended*
+//! link universe that adds a virtual link for every combination of 2..β
+//! physical links (Fig. 3 of the paper); the greedy then refines a partition
+//! of extended links until every extended link lies in its own cell.
+//!
+//! The module implements the strawman greedy (O(m²) rescoring) and the three
+//! published optimizations: problem decomposition ([`decompose`]), lazy
+//! score updates à la CELF ([`Strategy::Lazy`]), and symmetry reduction via
+//! incremental [`CandidateProvider`]s that never materialize the full path
+//! set (providers are implemented by `detector-topology`).
+
+mod decompose;
+mod greedy;
+mod lazy;
+mod parallel;
+mod provider;
+mod state;
+mod verify;
+mod virtual_links;
+
+pub use decompose::{decompose, Subproblem};
+pub use parallel::construct_decomposed_parallel;
+pub use provider::{CandidateProvider, ExhaustiveProvider};
+pub use state::{Eval, SelectionState};
+pub use verify::{max_identifiability, min_coverage, verify, VerifyReport};
+pub use virtual_links::ExtendedUniverse;
+
+use std::time::{Duration, Instant};
+
+use crate::types::{LinkId, PathId, ProbePath};
+
+/// Selection strategy for the greedy loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Re-score every remaining candidate each iteration (the paper's
+    /// strawman, O(m²) score updates).
+    Strawman,
+    /// Lazy score updates with a min-heap (CELF-style, Observation 2).
+    Lazy,
+}
+
+/// Configuration for probe matrix construction.
+#[derive(Clone, Debug)]
+pub struct PmcConfig {
+    /// Minimum number of selected paths that must cover each physical link.
+    pub alpha: u32,
+    /// Identifiability level: simultaneous failures of up to `beta` links
+    /// must be distinguishable. Supported values: 0..=3 (the paper finds
+    /// β ≥ 3 computationally impractical at scale, §4.4).
+    pub beta: u32,
+    /// Greedy variant.
+    pub strategy: Strategy,
+    /// Split the problem into independent subproblems first (Observation 1).
+    pub decompose: bool,
+    /// Solve decomposed subproblems on multiple threads.
+    pub parallel: bool,
+    /// Abort with [`PmcError::Timeout`] if construction exceeds this budget.
+    pub timeout: Option<Duration>,
+    /// Upper bound on the extended-universe size (#physical + #virtual
+    /// links) per subproblem; guards against infeasible β on large inputs.
+    pub max_extended_elements: u64,
+}
+
+impl PmcConfig {
+    /// Coverage-only configuration: α-coverage, no identifiability target.
+    pub fn coverage(alpha: u32) -> Self {
+        Self {
+            alpha,
+            beta: 0,
+            ..Self::default()
+        }
+    }
+
+    /// β-identifiability with 1-coverage (the paper's (1, β) settings).
+    pub fn identifiable(beta: u32) -> Self {
+        Self {
+            alpha: 1,
+            beta,
+            ..Self::default()
+        }
+    }
+
+    /// Full (α, β) configuration.
+    pub fn new(alpha: u32, beta: u32) -> Self {
+        Self {
+            alpha,
+            beta,
+            ..Self::default()
+        }
+    }
+
+    /// Uses the strawman strategy without decomposition (for benchmarks).
+    pub fn strawman(mut self) -> Self {
+        self.strategy = Strategy::Strawman;
+        self.decompose = false;
+        self.parallel = false;
+        self
+    }
+
+    /// Sets a wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+impl Default for PmcConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 1,
+            beta: 1,
+            strategy: Strategy::Lazy,
+            decompose: true,
+            parallel: true,
+            timeout: None,
+            max_extended_elements: 64_000_000,
+        }
+    }
+}
+
+/// Errors from probe matrix construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PmcError {
+    /// The wall-clock budget was exceeded.
+    Timeout {
+        /// Time spent before giving up.
+        elapsed: Duration,
+    },
+    /// β > 3 is not supported (combinatorial blow-up; the paper reports the
+    /// same limitation).
+    BetaTooLarge {
+        /// Requested identifiability level.
+        beta: u32,
+    },
+    /// The extended universe would exceed `max_extended_elements`.
+    UniverseTooLarge {
+        /// Number of extended elements that would be required.
+        required: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A candidate path referenced a link outside the declared universe.
+    UnknownLink {
+        /// The offending link.
+        link: LinkId,
+    },
+}
+
+impl core::fmt::Display for PmcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PmcError::Timeout { elapsed } => {
+                write!(f, "PMC timed out after {elapsed:?}")
+            }
+            PmcError::BetaTooLarge { beta } => {
+                write!(f, "identifiability level {beta} not supported (max 3)")
+            }
+            PmcError::UniverseTooLarge { required, limit } => {
+                write!(
+                    f,
+                    "extended universe needs {required} elements, limit is {limit}"
+                )
+            }
+            PmcError::UnknownLink { link } => {
+                write!(f, "candidate path references unknown link {link}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmcError {}
+
+/// What a constructed probe matrix actually achieved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Achieved {
+    /// Minimum number of selected paths over any physical link that appears
+    /// in at least one candidate (0 if some link is uncoverable).
+    pub coverage: u32,
+    /// Identifiability level certified by construction: equals the
+    /// requested β when every extended link ended in its own partition
+    /// cell in every subproblem, otherwise the best certified lower level.
+    pub identifiability: u32,
+    /// True when the requested (α, β) targets were fully met.
+    pub targets_met: bool,
+}
+
+/// A constructed probe matrix: the selected probe paths plus metadata.
+#[derive(Clone, Debug)]
+pub struct ProbeMatrix {
+    /// Size of the physical link universe (links are `0..num_links`).
+    pub num_links: usize,
+    /// Selected probe paths, re-numbered densely from 0.
+    pub paths: Vec<ProbePath>,
+    /// Targets achieved by the construction.
+    pub achieved: Achieved,
+    /// Links of the universe that no candidate path covered (these can
+    /// never be monitored by this candidate set).
+    pub uncoverable: Vec<LinkId>,
+}
+
+impl ProbeMatrix {
+    /// Builds a probe matrix directly from externally selected paths
+    /// (used by the baseline systems, whose "selection" is all-pairs).
+    pub fn from_paths(num_links: usize, paths: Vec<ProbePath>) -> Self {
+        let paths: Vec<ProbePath> = paths
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.with_id(PathId(i as u32)))
+            .collect();
+        let mut covered = vec![false; num_links];
+        for p in &paths {
+            for l in p.links() {
+                if l.index() < num_links {
+                    covered[l.index()] = true;
+                }
+            }
+        }
+        let uncoverable = (0..num_links)
+            .filter(|&i| !covered[i])
+            .map(|i| LinkId(i as u32))
+            .collect();
+        Self {
+            num_links,
+            paths,
+            achieved: Achieved {
+                coverage: 0,
+                identifiability: 0,
+                targets_met: false,
+            },
+            uncoverable,
+        }
+    }
+
+    /// Overrides the achieved targets (used by external constructors, e.g.
+    /// the symmetry-reduction driver in `detector-topology`, which certify
+    /// properties through their own reasoning).
+    pub fn with_achieved(mut self, achieved: Achieved) -> Self {
+        self.achieved = achieved;
+        self
+    }
+
+    /// Number of selected paths (rows of the matrix).
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Iterates over the paths covering `link`.
+    pub fn paths_through(&self, link: LinkId) -> impl Iterator<Item = &ProbePath> {
+        self.paths.iter().filter(move |p| p.covers(link))
+    }
+
+    /// Builds the link → path-ids index used by the localization algorithms.
+    pub fn link_index(&self) -> Vec<Vec<PathId>> {
+        let mut idx = vec![Vec::new(); self.num_links];
+        for p in &self.paths {
+            for l in p.links() {
+                idx[l.index()].push(p.id);
+            }
+        }
+        idx
+    }
+}
+
+/// Result of solving one subproblem (used internally and by providers).
+#[derive(Clone, Debug)]
+pub struct SubSolution {
+    /// Selected paths (ids are meaningless until merged).
+    pub paths: Vec<ProbePath>,
+    /// True when both the α and β targets were met for this subproblem.
+    pub targets_met: bool,
+    /// Minimum coverage achieved over the subproblem's links.
+    pub coverage: u32,
+    /// Number of partition cells at the end vs the number needed.
+    pub cells: (u64, u64),
+}
+
+/// Constructs a probe matrix from a materialized candidate set.
+///
+/// `num_links` is the size of the physical-link universe; every link id in
+/// `candidates` must be `< num_links`. Links that appear in no candidate are
+/// reported as [`ProbeMatrix::uncoverable`] rather than treated as errors,
+/// mirroring the controller's behaviour of pruning failed links from the
+/// routing matrix (§6.1, footnote 4).
+///
+/// # Examples
+///
+/// ```
+/// use detector_core::pmc::{construct, PmcConfig};
+/// use detector_core::types::{LinkId, ProbePath};
+///
+/// let candidates = vec![
+///     ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+///     ProbePath::from_links(1, vec![LinkId(0)]),
+/// ];
+/// let m = construct(2, candidates, &PmcConfig::identifiable(1)).unwrap();
+/// assert_eq!(m.achieved.identifiability, 1);
+/// assert_eq!(m.num_paths(), 2);
+/// ```
+pub fn construct(
+    num_links: usize,
+    candidates: Vec<ProbePath>,
+    cfg: &PmcConfig,
+) -> Result<ProbeMatrix, PmcError> {
+    let deadline = cfg.timeout.map(|t| Instant::now() + t);
+    for p in &candidates {
+        if let Some(l) = p.links().iter().find(|l| l.index() >= num_links) {
+            return Err(PmcError::UnknownLink { link: *l });
+        }
+    }
+
+    let mut covered = vec![false; num_links];
+    for p in &candidates {
+        for l in p.links() {
+            covered[l.index()] = true;
+        }
+    }
+    let uncoverable: Vec<LinkId> = (0..num_links)
+        .filter(|&i| !covered[i])
+        .map(|i| LinkId(i as u32))
+        .collect();
+
+    let subproblems = if cfg.decompose {
+        decompose(candidates)
+    } else {
+        vec![Subproblem::whole(candidates)]
+    };
+
+    let solutions: Vec<SubSolution> = if cfg.parallel && subproblems.len() > 1 {
+        construct_decomposed_parallel(subproblems, cfg, deadline)?
+    } else {
+        let mut out = Vec::with_capacity(subproblems.len());
+        for sp in subproblems {
+            out.push(solve_subproblem(sp.universe, sp.candidates, cfg, deadline)?);
+        }
+        out
+    };
+
+    Ok(merge_solutions(num_links, uncoverable, solutions, cfg))
+}
+
+/// Constructs the selection for a single subproblem whose candidates are
+/// produced incrementally by `provider` (the symmetry-reduction path).
+///
+/// The provider's universe defines the links that must be covered and
+/// identified; the loop pulls candidate batches until the (α, β) targets
+/// are met or the provider is exhausted.
+pub fn construct_with_provider<P: CandidateProvider>(
+    provider: P,
+    cfg: &PmcConfig,
+) -> Result<SubSolution, PmcError> {
+    let deadline = cfg.timeout.map(|t| Instant::now() + t);
+    lazy::run_with_provider(provider, cfg, deadline)
+}
+
+/// Merges per-subproblem solutions into a dense probe matrix.
+pub(crate) fn merge_solutions(
+    num_links: usize,
+    uncoverable: Vec<LinkId>,
+    solutions: Vec<SubSolution>,
+    cfg: &PmcConfig,
+) -> ProbeMatrix {
+    let mut paths = Vec::new();
+    let mut targets_met = uncoverable.is_empty();
+    let mut coverage = u32::MAX;
+    for sol in solutions {
+        targets_met &= sol.targets_met;
+        coverage = coverage.min(sol.coverage);
+        paths.extend(sol.paths);
+    }
+    if coverage == u32::MAX {
+        coverage = 0;
+    }
+    let paths: Vec<ProbePath> = paths
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| p.with_id(PathId(i as u32)))
+        .collect();
+    let identifiability = if targets_met { cfg.beta } else { 0 };
+    ProbeMatrix {
+        num_links,
+        paths,
+        achieved: Achieved {
+            coverage,
+            identifiability,
+            targets_met,
+        },
+        uncoverable,
+    }
+}
+
+/// Solves one materialized subproblem with the configured strategy.
+pub(crate) fn solve_subproblem(
+    universe: Vec<LinkId>,
+    candidates: Vec<ProbePath>,
+    cfg: &PmcConfig,
+    deadline: Option<Instant>,
+) -> Result<SubSolution, PmcError> {
+    match cfg.strategy {
+        Strategy::Strawman => greedy::run(universe, candidates, cfg, deadline),
+        Strategy::Lazy => lazy::run(universe, candidates, cfg, deadline),
+    }
+}
+
+pub(crate) fn check_deadline(deadline: Option<Instant>, start: Instant) -> Result<(), PmcError> {
+    if let Some(d) = deadline {
+        if Instant::now() > d {
+            return Err(PmcError::Timeout {
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_candidates() -> Vec<ProbePath> {
+        // The routing matrix of Fig. 3: p1 = {l1, l2}, p2 = {l1, l3},
+        // p3 = {l3}.
+        vec![
+            ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+            ProbePath::from_links(1, vec![LinkId(0), LinkId(2)]),
+            ProbePath::from_links(2, vec![LinkId(2)]),
+        ]
+    }
+
+    #[test]
+    fn fig3_one_identifiable_needs_all_three_paths() {
+        let m = construct(3, fig3_candidates(), &PmcConfig::identifiable(1)).unwrap();
+        // p1 and p2 alone are 1-identifiable for links l1/l2/l3? No: l3 and
+        // l1 have distinct sets {p2} vs {p1,p2}, l2 = {p1}; actually the
+        // pair {p1, p2} distinguishes all three links, but coverage of l2
+        // requires p1 and of l3 requires p2 or p3. The greedy may pick any
+        // 1-identifiable subset; verify the property rather than the count.
+        assert!(m.achieved.targets_met);
+        assert_eq!(max_identifiability(&m, 1), 1);
+    }
+
+    #[test]
+    fn fig3_two_identifiability_is_impossible() {
+        // The paper notes {l1,l3} and {l2,l3} produce identical
+        // observations over the full matrix, so β = 2 must fail.
+        let m = construct(3, fig3_candidates(), &PmcConfig::identifiable(2)).unwrap();
+        assert!(!m.achieved.targets_met);
+        assert_eq!(m.achieved.identifiability, 0);
+        // Even so, the matrix should still be 1-identifiable in practice.
+        assert_eq!(max_identifiability(&m, 2), 1);
+    }
+
+    #[test]
+    fn uncoverable_links_are_reported() {
+        let m = construct(4, fig3_candidates(), &PmcConfig::coverage(1)).unwrap();
+        assert_eq!(m.uncoverable, vec![LinkId(3)]);
+        assert!(!m.achieved.targets_met);
+    }
+
+    #[test]
+    fn coverage_two_selects_more_paths() {
+        let candidates = vec![
+            ProbePath::from_links(0, vec![LinkId(0)]),
+            ProbePath::from_links(1, vec![LinkId(0)]),
+            ProbePath::from_links(2, vec![LinkId(0)]),
+        ];
+        let m = construct(1, candidates, &PmcConfig::coverage(2)).unwrap();
+        assert_eq!(m.num_paths(), 2);
+        assert_eq!(m.achieved.coverage, 2);
+        assert!(m.achieved.targets_met);
+    }
+
+    #[test]
+    fn strawman_and_lazy_agree_on_targets() {
+        let candidates = fig3_candidates();
+        let lazy = construct(3, candidates.clone(), &PmcConfig::identifiable(1)).unwrap();
+        let straw = construct(3, candidates, &PmcConfig::identifiable(1).strawman()).unwrap();
+        assert_eq!(lazy.achieved.targets_met, straw.achieved.targets_met);
+        assert_eq!(min_coverage(&lazy), min_coverage(&straw));
+    }
+
+    #[test]
+    fn beta_four_is_rejected() {
+        let err = construct(3, fig3_candidates(), &PmcConfig::identifiable(4)).unwrap_err();
+        assert_eq!(err, PmcError::BetaTooLarge { beta: 4 });
+    }
+
+    #[test]
+    fn unknown_link_is_rejected() {
+        let err = construct(1, fig3_candidates(), &PmcConfig::coverage(1)).unwrap_err();
+        assert!(matches!(err, PmcError::UnknownLink { .. }));
+    }
+
+    #[test]
+    fn timeout_fires_on_zero_budget() {
+        // A zero timeout must abort before any real work happens.
+        let cfg = PmcConfig::identifiable(1).with_timeout(Duration::from_secs(0));
+        // Build a candidate set big enough that the loop checks the clock.
+        let candidates: Vec<ProbePath> = (0..2000u32)
+            .map(|i| ProbePath::from_links(i, vec![LinkId(i % 97), LinkId((i * 7 + 1) % 97)]))
+            .collect();
+        let res = construct(97, candidates, &cfg);
+        assert!(matches!(res, Err(PmcError::Timeout { .. })));
+    }
+
+    #[test]
+    fn link_index_matches_paths() {
+        let m = construct(3, fig3_candidates(), &PmcConfig::identifiable(1)).unwrap();
+        let idx = m.link_index();
+        for (l, paths) in idx.iter().enumerate() {
+            for pid in paths {
+                assert!(m.paths[pid.index()].covers(LinkId(l as u32)));
+            }
+        }
+    }
+}

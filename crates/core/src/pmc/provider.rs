@@ -1,0 +1,120 @@
+//! Incremental candidate providers (the symmetry-reduction interface,
+//! Observation 3 of §4.3).
+//!
+//! For large data centers the full candidate path set cannot be
+//! materialized (a 64-radix Fattree has ~4.3 × 10⁹ ToR-pair paths). The
+//! topology crate instead exposes *providers* that generate candidates in
+//! symmetric "rounds" — orbit tilings under the topology's automorphism
+//! group — and the lazy greedy pulls further rounds only while its (α, β)
+//! targets are unmet.
+
+use crate::types::{LinkId, ProbePath};
+
+/// A source of candidate probe paths for one PMC subproblem.
+pub trait CandidateProvider {
+    /// The physical-link universe the candidates range over. Every link in
+    /// the universe must be coverable by some candidate for the coverage
+    /// target to be attainable.
+    fn universe(&self) -> &[LinkId];
+
+    /// Returns the next batch of candidates; an empty batch signals
+    /// exhaustion (the provider will not be polled again).
+    fn next_batch(&mut self) -> Vec<ProbePath>;
+
+    /// Optional estimate of how many candidates remain.
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<T: CandidateProvider + ?Sized> CandidateProvider for Box<T> {
+    fn universe(&self) -> &[LinkId] {
+        (**self).universe()
+    }
+
+    fn next_batch(&mut self) -> Vec<ProbePath> {
+        (**self).next_batch()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+/// Provider over a fully materialized candidate set, handed out in chunks.
+#[derive(Clone, Debug)]
+pub struct ExhaustiveProvider {
+    universe: Vec<LinkId>,
+    pending: std::vec::IntoIter<ProbePath>,
+    batch_size: usize,
+}
+
+impl ExhaustiveProvider {
+    /// Builds a provider whose universe is inferred from the candidates.
+    pub fn new(candidates: Vec<ProbePath>) -> Self {
+        let mut universe: Vec<LinkId> = candidates
+            .iter()
+            .flat_map(|p| p.links().iter().copied())
+            .collect();
+        universe.sort_unstable();
+        universe.dedup();
+        Self::with_universe(universe, candidates)
+    }
+
+    /// Builds a provider over an explicit universe.
+    pub fn with_universe(universe: Vec<LinkId>, candidates: Vec<ProbePath>) -> Self {
+        let n = candidates.len();
+        Self {
+            universe,
+            pending: candidates.into_iter(),
+            batch_size: n.max(1),
+        }
+    }
+
+    /// Limits how many candidates are handed out per batch (used in tests
+    /// and to bound peak heap size).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+}
+
+impl CandidateProvider for ExhaustiveProvider {
+    fn universe(&self) -> &[LinkId] {
+        &self.universe
+    }
+
+    fn next_batch(&mut self) -> Vec<ProbePath> {
+        self.pending.by_ref().take(self.batch_size).collect()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.pending.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(id: u32, ls: &[u32]) -> ProbePath {
+        ProbePath::from_links(id, ls.iter().map(|&l| LinkId(l)).collect())
+    }
+
+    #[test]
+    fn infers_universe() {
+        let p = ExhaustiveProvider::new(vec![path(0, &[3, 1]), path(1, &[7])]);
+        assert_eq!(p.universe(), &[LinkId(1), LinkId(3), LinkId(7)]);
+    }
+
+    #[test]
+    fn batches_respect_size() {
+        let mut p = ExhaustiveProvider::new(vec![path(0, &[0]), path(1, &[1]), path(2, &[2])])
+            .with_batch_size(2);
+        assert_eq!(p.remaining_hint(), Some(3));
+        assert_eq!(p.next_batch().len(), 2);
+        assert_eq!(p.remaining_hint(), Some(1));
+        assert_eq!(p.next_batch().len(), 1);
+        assert!(p.next_batch().is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Greedy selection state: link-set partition refinement plus coverage
+//! weights and the path score of eq. (1).
+
+use std::collections::HashMap;
+
+use super::virtual_links::ExtendedUniverse;
+use super::{PmcConfig, PmcError};
+use crate::types::{LinkId, ProbePath};
+
+/// A partition of extended-link elements into "link sets", refined by each
+/// selected path (§4.2: a selected path splits every set into the elements
+/// on the path and those not on it).
+#[derive(Clone, Debug)]
+struct Partition {
+    /// Element → cell id.
+    cell_of: Vec<u32>,
+    /// Cell id → number of elements currently in the cell.
+    cell_size: Vec<u64>,
+    /// Number of non-empty cells.
+    num_cells: u64,
+    /// Scratch: per-cell stamp for distinct-cell counting.
+    stamp: Vec<u32>,
+    /// Scratch: per-cell incident-element count for split prediction.
+    inc_count: Vec<u64>,
+    /// Current stamp round.
+    round: u32,
+}
+
+impl Partition {
+    fn new(num_elements: u64) -> Self {
+        let n = num_elements as usize;
+        Self {
+            cell_of: vec![0; n],
+            cell_size: vec![num_elements],
+            num_cells: if n == 0 { 0 } else { 1 },
+            stamp: vec![0],
+            inc_count: vec![0],
+            round: 0,
+        }
+    }
+
+    #[inline]
+    fn num_cells(&self) -> u64 {
+        self.num_cells
+    }
+
+    #[inline]
+    fn is_discrete(&self, num_elements: u64) -> bool {
+        self.num_cells == num_elements
+    }
+
+    /// Counts, without modifying the partition, how many distinct cells the
+    /// incident elements touch and how many of those cells would actually
+    /// split (contain both incident and non-incident elements).
+    fn probe(&mut self, incident: &[u64]) -> (u64, u64) {
+        self.round += 1;
+        let round = self.round;
+        let mut touched = 0u64;
+        for &e in incident {
+            let c = self.cell_of[e as usize] as usize;
+            if self.stamp[c] != round {
+                self.stamp[c] = round;
+                self.inc_count[c] = 0;
+                touched += 1;
+            }
+            self.inc_count[c] += 1;
+        }
+        let mut splits = 0u64;
+        // Second pass over distinct cells via the stamped counts.
+        for &e in incident {
+            let c = self.cell_of[e as usize] as usize;
+            if self.stamp[c] == round {
+                if self.inc_count[c] < self.cell_size[c] {
+                    splits += 1;
+                }
+                // Consume the stamp so each cell is judged once.
+                self.stamp[c] = round.wrapping_sub(1);
+            }
+        }
+        self.round += 1; // Invalidate any stale consumed stamps.
+        (touched, splits)
+    }
+
+    /// Refines the partition by the incident-element set of a selected
+    /// path, returning the number of cells that split.
+    fn refine(&mut self, incident: &[u64]) -> u64 {
+        let mut buddy: HashMap<u32, u32> = HashMap::new();
+        for &e in incident {
+            let c = self.cell_of[e as usize];
+            let b = *buddy.entry(c).or_insert_with(|| {
+                let id = self.cell_size.len() as u32;
+                self.cell_size.push(0);
+                self.stamp.push(0);
+                self.inc_count.push(0);
+                id
+            });
+            self.cell_size[c as usize] -= 1;
+            self.cell_size[b as usize] += 1;
+            self.cell_of[e as usize] = b;
+        }
+        let mut splits = 0;
+        for (&c, _) in buddy.iter() {
+            if self.cell_size[c as usize] > 0 {
+                splits += 1;
+            }
+        }
+        self.num_cells += splits;
+        splits
+    }
+}
+
+/// Evaluation of a candidate path against the current selection state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eval {
+    /// The paper's score (eq. (1)): Σ w\[link\] − #link-sets-on-path.
+    /// Lower is better.
+    pub score: i64,
+    /// Number of link sets the path would split if selected.
+    pub split_gain: u64,
+    /// Number of the path's physical links still below α coverage.
+    pub coverage_gain: u32,
+}
+
+impl Eval {
+    /// True if selecting the path makes progress toward the configured
+    /// targets (splits a set when identifiability is sought, or raises an
+    /// under-covered link).
+    #[inline]
+    pub fn useful(&self, beta: u32) -> bool {
+        self.coverage_gain > 0 || (beta >= 1 && self.split_gain > 0)
+    }
+}
+
+/// Mutable state of one subproblem's greedy selection.
+pub struct SelectionState {
+    universe: ExtendedUniverse,
+    partition: Partition,
+    /// Per-local-link weight w\[link\]: number of selected paths covering it.
+    w: Vec<u32>,
+    alpha: u32,
+    beta: u32,
+    /// Number of links with w < α.
+    under_covered: usize,
+    /// Scratch bitmap for incident enumeration.
+    in_path: Vec<bool>,
+    /// Scratch buffer of incident elements.
+    incident: Vec<u64>,
+    /// Scratch buffer of local link indices.
+    locals: Vec<u32>,
+    selected: Vec<ProbePath>,
+}
+
+impl SelectionState {
+    /// Creates the state for a subproblem over `universe_links`.
+    pub fn new(universe_links: &[LinkId], cfg: &PmcConfig) -> Result<Self, PmcError> {
+        let universe = ExtendedUniverse::new(universe_links, cfg.beta, cfg.max_extended_elements)?;
+        let n = universe.num_links();
+        let partition = Partition::new(universe.num_elements());
+        Ok(Self {
+            partition,
+            w: vec![0; n],
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            under_covered: if cfg.alpha == 0 { 0 } else { n },
+            in_path: vec![false; n],
+            incident: Vec::new(),
+            locals: Vec::new(),
+            universe,
+            selected: Vec::new(),
+        })
+    }
+
+    /// The extended universe of this subproblem.
+    pub fn universe(&self) -> &ExtendedUniverse {
+        &self.universe
+    }
+
+    /// True once both the coverage and identifiability targets hold.
+    pub fn targets_met(&self) -> bool {
+        self.under_covered == 0 && self.identifiability_met()
+    }
+
+    /// True once every extended link is alone in its cell (or β = 0).
+    pub fn identifiability_met(&self) -> bool {
+        self.beta == 0 || self.partition.is_discrete(self.universe.num_elements())
+    }
+
+    /// Current (cells, required-cells) pair, for progress reporting.
+    pub fn cells(&self) -> (u64, u64) {
+        (self.partition.num_cells(), self.universe.num_elements())
+    }
+
+    /// Minimum coverage achieved so far over the subproblem's links.
+    pub fn min_coverage(&self) -> u32 {
+        self.w.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Paths selected so far.
+    pub fn selected(&self) -> &[ProbePath] {
+        &self.selected
+    }
+
+    /// Consumes the state, returning the selected paths.
+    pub fn into_selected(self) -> Vec<ProbePath> {
+        self.selected
+    }
+
+    fn load_locals(&mut self, path: &ProbePath) -> Result<(), PmcError> {
+        self.locals.clear();
+        for &l in path.links() {
+            match self.universe.local(l) {
+                Some(i) => self.locals.push(i),
+                None => return Err(PmcError::UnknownLink { link: l }),
+            }
+        }
+        self.locals.sort_unstable();
+        Ok(())
+    }
+
+    fn load_incident(&mut self) {
+        self.incident.clear();
+        let incident = &mut self.incident;
+        self.universe
+            .for_each_incident(&self.locals, &mut self.in_path, |e| incident.push(e));
+    }
+
+    /// Scores a candidate path against the current state.
+    pub fn evaluate(&mut self, path: &ProbePath) -> Result<Eval, PmcError> {
+        self.load_locals(path)?;
+        self.load_incident();
+        let (touched, splits) = self.partition.probe(&self.incident);
+        let weight: i64 = self.locals.iter().map(|&l| self.w[l as usize] as i64).sum();
+        let coverage_gain = self
+            .locals
+            .iter()
+            .filter(|&&l| self.w[l as usize] < self.alpha)
+            .count() as u32;
+        Ok(Eval {
+            score: weight - touched as i64,
+            split_gain: if self.beta >= 1 { splits } else { 0 },
+            coverage_gain,
+        })
+    }
+
+    /// Selects a path: refines the partition and updates link weights.
+    pub fn select(&mut self, path: &ProbePath) -> Result<(), PmcError> {
+        self.load_locals(path)?;
+        self.load_incident();
+        self.partition.refine(&self.incident);
+        for i in 0..self.locals.len() {
+            let l = self.locals[i] as usize;
+            self.w[l] += 1;
+            if self.w[l] == self.alpha {
+                self.under_covered -= 1;
+            }
+        }
+        self.selected.push(path.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(alpha: u32, beta: u32) -> PmcConfig {
+        PmcConfig::new(alpha, beta)
+    }
+
+    fn path(id: u32, links: &[u32]) -> ProbePath {
+        ProbePath::from_links(id, links.iter().map(|&l| LinkId(l)).collect())
+    }
+
+    #[test]
+    fn initial_score_is_minus_one() {
+        let links: Vec<LinkId> = (0..3).map(LinkId).collect();
+        let mut st = SelectionState::new(&links, &cfg(1, 1)).unwrap();
+        let e = st.evaluate(&path(0, &[0, 1])).unwrap();
+        // One big cell touched, zero weight.
+        assert_eq!(e.score, -1);
+        assert_eq!(e.split_gain, 1);
+        assert_eq!(e.coverage_gain, 2);
+    }
+
+    #[test]
+    fn fig3_partition_reaches_discreteness() {
+        // Links l0,l1,l2; paths p1={0,1}, p2={0,2}, p3={2}.
+        let links: Vec<LinkId> = (0..3).map(LinkId).collect();
+        let mut st = SelectionState::new(&links, &cfg(1, 1)).unwrap();
+        st.select(&path(0, &[0, 1])).unwrap();
+        assert!(!st.identifiability_met());
+        st.select(&path(1, &[0, 2])).unwrap();
+        // After p1, p2: cells {l0}, {l1}, {l2}? p1 splits {012} into
+        // {01},{2}; p2 splits {01} into {0},{1} and {2} stays ({2} is
+        // entirely on p2 → moves wholesale, no split).
+        assert!(st.identifiability_met());
+        assert!(st.targets_met());
+    }
+
+    #[test]
+    fn selecting_same_path_twice_gives_no_split_gain() {
+        let links: Vec<LinkId> = (0..3).map(LinkId).collect();
+        let mut st = SelectionState::new(&links, &cfg(1, 1)).unwrap();
+        let p = path(0, &[0, 1]);
+        st.select(&p).unwrap();
+        let e = st.evaluate(&p).unwrap();
+        assert_eq!(e.split_gain, 0);
+        assert_eq!(e.coverage_gain, 0);
+        // Weight is now 1 per link; both links share a single cell.
+        assert_eq!(e.score, 2 - 1);
+    }
+
+    #[test]
+    fn coverage_target_tracks_under_covered() {
+        let links: Vec<LinkId> = (0..2).map(LinkId).collect();
+        let mut st = SelectionState::new(&links, &cfg(2, 0)).unwrap();
+        let p = path(0, &[0, 1]);
+        assert!(!st.targets_met());
+        st.select(&p).unwrap();
+        assert!(!st.targets_met());
+        st.select(&p).unwrap();
+        assert!(st.targets_met());
+        assert_eq!(st.min_coverage(), 2);
+    }
+
+    #[test]
+    fn beta_two_requires_distinguishing_pairs() {
+        // Two links, candidates {0}, {1}, {0,1}: with paths {0} and {1}
+        // the pair {0,1} is distinguished from both singles, since
+        // paths({0,1}) = {p0,p1}.
+        let links: Vec<LinkId> = (0..2).map(LinkId).collect();
+        let mut st = SelectionState::new(&links, &cfg(1, 2)).unwrap();
+        st.select(&path(0, &[0])).unwrap();
+        st.select(&path(1, &[1])).unwrap();
+        assert!(st.identifiability_met(), "cells: {:?}", st.cells());
+    }
+
+    #[test]
+    fn unknown_link_is_reported() {
+        let links: Vec<LinkId> = (0..2).map(LinkId).collect();
+        let mut st = SelectionState::new(&links, &cfg(1, 1)).unwrap();
+        let err = st.evaluate(&path(0, &[5])).unwrap_err();
+        assert!(matches!(err, PmcError::UnknownLink { .. }));
+    }
+
+    #[test]
+    fn probe_does_not_mutate_partition() {
+        let links: Vec<LinkId> = (0..4).map(LinkId).collect();
+        let mut st = SelectionState::new(&links, &cfg(1, 2)).unwrap();
+        let before = st.cells();
+        let _ = st.evaluate(&path(0, &[0, 2])).unwrap();
+        let _ = st.evaluate(&path(1, &[1, 3])).unwrap();
+        assert_eq!(st.cells(), before);
+    }
+}

@@ -1,0 +1,100 @@
+//! Small integer identifier newtypes.
+//!
+//! All identifiers are dense indices assigned by the topology (or, for
+//! [`PathId`], by whoever enumerates candidate paths). Using newtypes keeps
+//! the three id spaces from being mixed up while staying `Copy` and free of
+//! runtime overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (switch or server) in a data center network.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected physical link.
+///
+/// The paper treats each inter-switch link as bi-directional: a probe along
+/// a path exercises the forward direction, and the response exercises the
+/// reverse direction, so a single identifier per undirected link suffices
+/// for the probe matrix (§4.1). When deTector blames a link, the fault may
+/// lie in either direction or in one of the two adjacent switches.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LinkId(pub u32);
+
+/// Identifier of a probe path within one probe matrix.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PathId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PathId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl core::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl core::fmt::Display for PathId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(LinkId(1) < LinkId(2));
+        assert!(NodeId(0) < NodeId(10));
+        assert!(PathId(3) > PathId(2));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(LinkId(7).to_string(), "l7");
+        assert_eq!(PathId(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(LinkId(42).index(), 42);
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(PathId(42).index(), 42);
+    }
+}

@@ -1,0 +1,9 @@
+//! Shared identifier, path and observation types used across the workspace.
+
+mod ids;
+mod observation;
+mod path;
+
+pub use ids::{LinkId, NodeId, PathId};
+pub use observation::PathObservation;
+pub use path::ProbePath;

@@ -1,0 +1,258 @@
+//! Probe packet encoding: IP-in-IP source routing over UDP (§3.2, §6.1).
+//!
+//! deTector controls the probe path by encapsulating the probe in an outer
+//! IP header addressed to the chosen core/intermediate switch, which
+//! decapsulates and forwards the inner packet to the true destination. We
+//! encode exactly that wire layout (outer IPv4 + inner IPv4 + UDP + probe
+//! payload) with the `bytes` crate so the runtime manipulates realistic
+//! packets; the simulator itself only needs the parsed form.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::flow::FlowKey;
+
+/// Parsed probe packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbePacket {
+    /// Address of the decapsulation point (core switch) — the outer
+    /// destination. 0 means no encapsulation (direct probe).
+    pub waypoint: u32,
+    /// The probe's flow identity (inner header fields).
+    pub flow: FlowKey,
+    /// Probe sequence number within its path/window.
+    pub seq: u32,
+    /// Probe-matrix path id the probe exercises.
+    pub path_id: u32,
+    /// Sender timestamp in microseconds (for RTT measurement; the
+    /// responder echoes it back).
+    pub timestamp_us: u64,
+}
+
+/// Errors from probe decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is shorter than the fixed layout requires.
+    Truncated,
+    /// A version/protocol field had an unexpected value.
+    Malformed,
+    /// The payload checksum did not match.
+    BadChecksum,
+}
+
+impl core::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "probe packet truncated"),
+            PacketError::Malformed => write!(f, "probe packet malformed"),
+            PacketError::BadChecksum => write!(f, "probe payload checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+const IPV4_HDR: usize = 20;
+const UDP_HDR: usize = 8;
+const PAYLOAD: usize = 24;
+/// Probe packets average 850 bytes on the wire (§6.1); the remainder after
+/// headers and payload is padding that raises packet entropy.
+pub const PROBE_WIRE_SIZE: usize = 850;
+
+fn put_ipv4(buf: &mut BytesMut, src: u32, dst: u32, proto: u8, dscp: u8, total_len: u16) {
+    buf.put_u8(0x45); // Version 4, IHL 5.
+    buf.put_u8(dscp << 2);
+    buf.put_u16(total_len);
+    buf.put_u16(0); // Identification.
+    buf.put_u16(0x4000); // Don't fragment.
+    buf.put_u8(63); // TTL.
+    buf.put_u8(proto);
+    buf.put_u16(0); // Header checksum (filled by hardware in practice).
+    buf.put_u32(src);
+    buf.put_u32(dst);
+}
+
+fn payload_checksum(packet: &ProbePacket) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for v in [
+        packet.seq,
+        packet.path_id,
+        packet.timestamp_us as u32,
+        (packet.timestamp_us >> 32) as u32,
+        packet.flow.src,
+        packet.flow.dst,
+    ] {
+        h ^= v;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Encodes a probe as outer-IP(-in-IP) + inner IP + UDP + payload, padded
+/// to [`PROBE_WIRE_SIZE`].
+pub fn encode_probe(packet: &ProbePacket) -> Bytes {
+    let mut buf = BytesMut::with_capacity(PROBE_WIRE_SIZE);
+    let inner_len = (IPV4_HDR + UDP_HDR + PAYLOAD) as u16;
+    if packet.waypoint != 0 {
+        // Outer header: src = real source, dst = waypoint, proto 4
+        // (IP-in-IP).
+        put_ipv4(
+            &mut buf,
+            packet.flow.src,
+            packet.waypoint,
+            4,
+            packet.flow.dscp,
+            inner_len + IPV4_HDR as u16,
+        );
+    }
+    put_ipv4(
+        &mut buf,
+        packet.flow.src,
+        packet.flow.dst,
+        packet.flow.proto,
+        packet.flow.dscp,
+        inner_len,
+    );
+    buf.put_u16(packet.flow.sport);
+    buf.put_u16(packet.flow.dport);
+    buf.put_u16((UDP_HDR + PAYLOAD) as u16);
+    buf.put_u16(0); // UDP checksum.
+    buf.put_u32(packet.seq);
+    buf.put_u32(packet.path_id);
+    buf.put_u64(packet.timestamp_us);
+    buf.put_u32(payload_checksum(packet));
+    buf.put_u32(0xdeec_70f5); // Payload magic.
+    while buf.len() < PROBE_WIRE_SIZE {
+        buf.put_u8(0xa5);
+    }
+    buf.freeze()
+}
+
+/// Decodes a probe produced by [`encode_probe`].
+pub fn decode_probe(mut buf: Bytes) -> Result<ProbePacket, PacketError> {
+    if buf.len() < IPV4_HDR {
+        return Err(PacketError::Truncated);
+    }
+    // Peek the first header to see whether it is an encapsulation.
+    let vihl = buf[0];
+    if vihl != 0x45 {
+        return Err(PacketError::Malformed);
+    }
+    let outer_proto = buf[9];
+    let mut waypoint = 0u32;
+    if outer_proto == 4 {
+        let mut outer = buf.split_to(IPV4_HDR);
+        outer.advance(16);
+        waypoint = outer.get_u32();
+        if buf.len() < IPV4_HDR {
+            return Err(PacketError::Truncated);
+        }
+        if buf[0] != 0x45 {
+            return Err(PacketError::Malformed);
+        }
+    }
+    if buf.len() < IPV4_HDR + UDP_HDR + PAYLOAD {
+        return Err(PacketError::Truncated);
+    }
+    let mut inner = buf.split_to(IPV4_HDR);
+    inner.advance(1);
+    let dscp = inner.get_u8() >> 2;
+    inner.advance(6);
+    inner.advance(1); // TTL.
+    let proto = inner.get_u8();
+    inner.advance(2);
+    let src = inner.get_u32();
+    let dst = inner.get_u32();
+
+    let sport = buf.get_u16();
+    let dport = buf.get_u16();
+    let _udp_len = buf.get_u16();
+    let _udp_csum = buf.get_u16();
+    let seq = buf.get_u32();
+    let path_id = buf.get_u32();
+    let timestamp_us = buf.get_u64();
+    let csum = buf.get_u32();
+
+    let packet = ProbePacket {
+        waypoint,
+        flow: FlowKey {
+            src,
+            dst,
+            sport,
+            dport,
+            proto,
+            dscp,
+        },
+        seq,
+        path_id,
+        timestamp_us,
+    };
+    if payload_checksum(&packet) != csum {
+        return Err(PacketError::BadChecksum);
+    }
+    Ok(packet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(waypoint: u32) -> ProbePacket {
+        ProbePacket {
+            waypoint,
+            flow: FlowKey {
+                src: 11,
+                dst: 22,
+                sport: 33000,
+                dport: 53000,
+                proto: 17,
+                dscp: 46,
+            },
+            seq: 77,
+            path_id: 1234,
+            timestamp_us: 987_654_321,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_with_encap() {
+        let p = sample(99);
+        let wire = encode_probe(&p);
+        assert_eq!(wire.len(), PROBE_WIRE_SIZE);
+        assert_eq!(decode_probe(wire).unwrap(), p);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_without_encap() {
+        let p = sample(0);
+        let wire = encode_probe(&p);
+        assert_eq!(decode_probe(wire).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        let p = sample(5);
+        let wire = encode_probe(&p);
+        let short = wire.slice(0..30);
+        assert_eq!(decode_probe(short), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let p = sample(5);
+        let wire = encode_probe(&p);
+        let mut raw = wire.to_vec();
+        // Flip a payload byte (the seq field of the inner payload).
+        let off = IPV4_HDR * 2 + UDP_HDR;
+        raw[off] ^= 0xff;
+        assert_eq!(
+            decode_probe(Bytes::from(raw)),
+            Err(PacketError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let raw = vec![0u8; 100];
+        assert_eq!(decode_probe(Bytes::from(raw)), Err(PacketError::Malformed));
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulated wall clock.
+
+/// A microsecond-resolution simulated clock.
+///
+/// The runtime schedules windows and controller cycles against this clock
+/// instead of the host clock, so campaigns are deterministic and fast.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimClock {
+    now_us: u64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Current time in whole seconds.
+    pub fn now_s(&self) -> u64 {
+        self.now_us / 1_000_000
+    }
+
+    /// Advances by `us` microseconds.
+    pub fn advance_us(&mut self, us: u64) {
+        self.now_us += us;
+    }
+
+    /// Advances by `s` seconds.
+    pub fn advance_s(&mut self, s: u64) {
+        self.now_us += s * 1_000_000;
+    }
+
+    /// True when `period_s` divides the current second (used for cycle
+    /// boundaries).
+    pub fn on_boundary(&self, period_s: u64) -> bool {
+        period_s != 0 && self.now_us % (period_s * 1_000_000) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reports() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_s(30);
+        assert_eq!(c.now_s(), 30);
+        c.advance_us(500);
+        assert_eq!(c.now_us(), 30_000_500);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let mut c = SimClock::new();
+        assert!(c.on_boundary(30));
+        c.advance_s(30);
+        assert!(c.on_boundary(30));
+        assert!(!c.on_boundary(600));
+        c.advance_s(570);
+        assert!(c.on_boundary(600));
+        assert!(!c.on_boundary(0));
+    }
+}

@@ -1,0 +1,363 @@
+//! The controller: probe-matrix computation and pinglist dispatch (§3.1).
+
+use std::collections::HashSet;
+
+use detector_core::pmc::{construct, PmcError, ProbeMatrix};
+use detector_core::types::{LinkId, NodeId};
+use detector_topology::{construct_symmetric, DcnTopology};
+
+use crate::pinglist::{PingEntry, Pinglist};
+use crate::SystemConfig;
+
+/// Everything the controller dispatches for one cycle.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// The probe matrix of this cycle.
+    pub matrix: ProbeMatrix,
+    /// One pinglist per active pinger.
+    pub pinglists: Vec<Pinglist>,
+    /// Cycle number.
+    pub version: u64,
+}
+
+impl Deployment {
+    /// Total probe paths across pinglists (each matrix path appears in at
+    /// least two pinglists for fault tolerance).
+    pub fn total_assignments(&self) -> usize {
+        self.pinglists.iter().map(|p| p.num_paths()).sum()
+    }
+}
+
+/// The logical controller.
+pub struct Controller<'a> {
+    topo: &'a dyn DcnTopology,
+    cfg: SystemConfig,
+    version: u64,
+    /// Below this many original paths the controller materializes the full
+    /// candidate set (small testbeds); above it, the symmetry plan is used.
+    exhaustive_limit: u128,
+    /// Links reported failed: removed from the routing matrix so no probe
+    /// path is scheduled across them (§6.1, footnote 4). Symmetry
+    /// computation is unaffected — it pre-runs once on the pristine
+    /// topology.
+    excluded_links: HashSet<LinkId>,
+}
+
+impl<'a> Controller<'a> {
+    /// A controller for `topo` with the given system configuration.
+    pub fn new(topo: &'a dyn DcnTopology, cfg: SystemConfig) -> Self {
+        Self {
+            topo,
+            cfg,
+            version: 0,
+            exhaustive_limit: 300_000,
+            excluded_links: HashSet::new(),
+        }
+    }
+
+    /// Reports links as failed: the next deployment avoids scheduling any
+    /// probe path across them (the diagnoser keeps monitoring the rest of
+    /// the fabric while repair is under way).
+    pub fn exclude_links(&mut self, links: impl IntoIterator<Item = LinkId>) {
+        self.excluded_links.extend(links);
+    }
+
+    /// Clears the failed-link set (links repaired).
+    pub fn clear_excluded_links(&mut self) {
+        self.excluded_links.clear();
+    }
+
+    /// The currently excluded links.
+    pub fn excluded_links(&self) -> &HashSet<LinkId> {
+        &self.excluded_links
+    }
+
+    fn strip_excluded(&self, matrix: ProbeMatrix) -> ProbeMatrix {
+        if self.excluded_links.is_empty() {
+            return matrix;
+        }
+        let achieved = matrix.achieved;
+        let kept: Vec<_> = matrix
+            .paths
+            .into_iter()
+            .filter(|p| !p.links().iter().any(|l| self.excluded_links.contains(l)))
+            .collect();
+        // Coverage/identifiability claims no longer hold around the dead
+        // links; report them degraded rather than stale.
+        ProbeMatrix::from_paths(matrix.num_links, kept).with_achieved(
+            detector_core::pmc::Achieved {
+                coverage: 0,
+                identifiability: 0,
+                targets_met: achieved.targets_met && false,
+            },
+        )
+    }
+
+    /// Computes the probe matrix for the current topology state.
+    pub fn compute_matrix(&self) -> Result<ProbeMatrix, PmcError> {
+        if self.topo.original_path_count() <= self.exhaustive_limit {
+            // Exhaustive: drop candidates over failed links *before*
+            // selection, so the greedy still optimizes coverage and
+            // identifiability of the healthy fabric.
+            let candidates: Vec<_> = self
+                .topo
+                .enumerate_candidates()
+                .into_iter()
+                .filter(|p| !p.links().iter().any(|l| self.excluded_links.contains(l)))
+                .collect();
+            construct(self.topo.probe_links(), candidates, &self.cfg.pmc)
+        } else {
+            // Symmetric: construct on the pristine topology, then strip
+            // paths that would cross failed links.
+            Ok(self.strip_excluded(construct_symmetric(self.topo, &self.cfg.pmc)?))
+        }
+    }
+
+    /// Computes the matrix and builds pinglists, excluding unhealthy
+    /// servers from pinger duty (watchdog input, §3.2).
+    pub fn build_deployment(
+        &mut self,
+        unhealthy: &HashSet<NodeId>,
+    ) -> Result<Deployment, PmcError> {
+        let matrix = self.compute_matrix()?;
+        self.version += 1;
+        let pinglists = self.assign(&matrix, unhealthy);
+        Ok(Deployment {
+            matrix,
+            pinglists,
+            version: self.version,
+        })
+    }
+
+    /// Distributes matrix paths to pingers: ≥ 2 pingers per source ToR
+    /// per path (fault tolerance), plus in-rack probes covering
+    /// server–ToR links.
+    fn assign(&self, matrix: &ProbeMatrix, unhealthy: &HashSet<NodeId>) -> Vec<Pinglist> {
+        let graph = self.topo.graph();
+        let interval_us = (1_000_000.0 / self.cfg.probe_rate_pps) as u64;
+
+        // Pingers per ToR (probe endpoints are ToRs for Fattree/VL2). For
+        // server-centric topologies (BCube) the endpoint *is* the pinger.
+        let mut lists: Vec<Pinglist> = Vec::new();
+        let mut list_index: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::new();
+
+        let mut list_for = |pinger: NodeId, lists: &mut Vec<Pinglist>| -> usize {
+            *list_index.entry(pinger).or_insert_with(|| {
+                lists.push(Pinglist {
+                    version: self.version,
+                    pinger,
+                    entries: Vec::new(),
+                    interval_us,
+                    base_sport: self.cfg.base_sport,
+                    port_range: self.cfg.port_range,
+                    dport: self.cfg.dport,
+                });
+                lists.len() - 1
+            })
+        };
+
+        for path in &matrix.paths {
+            let nodes = path.nodes();
+            if nodes.is_empty() {
+                continue;
+            }
+            let first = nodes[0];
+            let last = *nodes.last().expect("non-empty path");
+            let waypoint = {
+                let mid = nodes[nodes.len() / 2];
+                graph.node(mid).kind.is_switch().then_some(mid)
+            };
+
+            if graph.node(first).kind.is_switch() {
+                // ToR-based endpoints: pick pingers under the source ToR
+                // and a responder under the destination ToR.
+                let pingers: Vec<NodeId> = graph
+                    .servers_under(first)
+                    .into_iter()
+                    .filter(|s| !unhealthy.contains(s))
+                    .take(self.cfg.pingers_per_tor)
+                    .collect();
+                if pingers.is_empty() {
+                    continue;
+                }
+                let responders: Vec<NodeId> = graph
+                    .servers_under(last)
+                    .into_iter()
+                    .filter(|s| !unhealthy.contains(s))
+                    .collect();
+                let Some(&responder) = responders.get(path.id.index() % responders.len().max(1))
+                else {
+                    continue;
+                };
+                let mut route = Vec::with_capacity(nodes.len() + 2);
+                route.push(NodeId(0)); // Placeholder, replaced per pinger.
+                route.extend_from_slice(nodes);
+                route.push(responder);
+
+                // At least two pingers per path.
+                let take = pingers.len().min(2).max(1);
+                for j in 0..take {
+                    let pinger = pingers[(path.id.index() + j) % pingers.len()];
+                    let mut r = route.clone();
+                    r[0] = pinger;
+                    let li = list_for(pinger, &mut lists);
+                    lists[li].entries.push(PingEntry {
+                        path: Some(path.id),
+                        route: r,
+                        responder,
+                        waypoint,
+                    });
+                }
+            } else {
+                // Server-based endpoints (BCube): the first server pings.
+                if unhealthy.contains(&first) {
+                    continue;
+                }
+                let li = list_for(first, &mut lists);
+                lists[li].entries.push(PingEntry {
+                    path: Some(path.id),
+                    route: nodes.to_vec(),
+                    responder: last,
+                    waypoint,
+                });
+            }
+        }
+
+        // In-rack probes: each pinger probes every other server under its
+        // ToR to cover server–ToR links (§3.1).
+        for li in 0..lists.len() {
+            let pinger = lists[li].pinger;
+            let Some(tor) = graph.switch_of(pinger) else {
+                continue;
+            };
+            for peer in graph.servers_under(tor) {
+                if peer == pinger || unhealthy.contains(&peer) {
+                    continue;
+                }
+                lists[li].entries.push(PingEntry {
+                    path: None,
+                    route: vec![pinger, tor, peer],
+                    responder: peer,
+                    waypoint: None,
+                });
+            }
+        }
+        lists.sort_by_key(|l| l.pinger);
+        lists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_topology::Fattree;
+
+    fn deployment(k: u32) -> (Fattree, Deployment) {
+        let ft = Fattree::new(k).unwrap();
+        let mut ctl = Controller::new(
+            // SAFETY-free lifetime juggling: leak for test simplicity.
+            Box::leak(Box::new(ft.clone())),
+            SystemConfig::default(),
+        );
+        let d = ctl.build_deployment(&HashSet::new()).unwrap();
+        (ft, d)
+    }
+
+    #[test]
+    fn every_matrix_path_is_assigned_twice() {
+        let (_ft, d) = deployment(4);
+        let mut counts = vec![0usize; d.matrix.num_paths()];
+        for l in &d.pinglists {
+            for e in &l.entries {
+                if let Some(pid) = e.path {
+                    counts[pid.index()] += 1;
+                }
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2), "counts: {counts:?}");
+    }
+
+    #[test]
+    fn routes_start_at_pinger_and_end_at_responder() {
+        let (ft, d) = deployment(4);
+        for l in &d.pinglists {
+            for e in &l.entries {
+                assert_eq!(e.route[0], l.pinger);
+                assert_eq!(*e.route.last().unwrap(), e.responder);
+                // And the route must be walkable in the graph.
+                ft.graph()
+                    .route_from_nodes(e.route.clone())
+                    .expect("pinglist route must be connected");
+            }
+        }
+    }
+
+    #[test]
+    fn in_rack_probes_cover_rack_peers() {
+        let (ft, d) = deployment(4);
+        // Each pinger probes the one other server in its rack (k=4 ⇒ 2
+        // servers per ToR).
+        for l in &d.pinglists {
+            let in_rack = l.entries.iter().filter(|e| e.path.is_none()).count();
+            assert_eq!(in_rack, 1, "pinger {:?}", l.pinger);
+        }
+        let _ = ft;
+    }
+
+    #[test]
+    fn unhealthy_servers_are_not_pingers() {
+        let ft = Fattree::new(4).unwrap();
+        let leaked: &'static Fattree = Box::leak(Box::new(ft));
+        let mut ctl = Controller::new(leaked, SystemConfig::default());
+        let mut bad = HashSet::new();
+        // All servers of pod 0, rack 0 are sick.
+        bad.insert(leaked.server(0, 0, 0));
+        bad.insert(leaked.server(0, 0, 1));
+        let d = ctl.build_deployment(&bad).unwrap();
+        for l in &d.pinglists {
+            assert!(!bad.contains(&l.pinger));
+        }
+    }
+
+    #[test]
+    fn version_increments_per_cycle() {
+        let ft = Fattree::new(4).unwrap();
+        let leaked: &'static Fattree = Box::leak(Box::new(ft));
+        let mut ctl = Controller::new(leaked, SystemConfig::default());
+        let d1 = ctl.build_deployment(&HashSet::new()).unwrap();
+        let d2 = ctl.build_deployment(&HashSet::new()).unwrap();
+        assert_eq!(d1.version + 1, d2.version);
+    }
+
+    #[test]
+    fn excluded_links_are_never_probed() {
+        let ft = Fattree::new(4).unwrap();
+        let leaked: &'static Fattree = Box::leak(Box::new(ft));
+        let mut ctl = Controller::new(leaked, SystemConfig::default());
+        let dead = leaked.ac_link(0, 0, 0);
+        ctl.exclude_links([dead]);
+        let d = ctl.build_deployment(&HashSet::new()).unwrap();
+        for p in &d.matrix.paths {
+            assert!(!p.covers(dead), "path {} crosses the dead link", p.id);
+        }
+        // The dead link is reported uncoverable; its neighbors are still
+        // monitored.
+        assert!(d.matrix.uncoverable.contains(&dead));
+        assert!(d.matrix.num_paths() > 0);
+        let healthy = leaked.ac_link(1, 0, 0);
+        assert!(d.matrix.paths.iter().any(|p| p.covers(healthy)));
+    }
+
+    #[test]
+    fn waypoint_is_a_switch() {
+        let (ft, d) = deployment(4);
+        for l in &d.pinglists {
+            for e in &l.entries {
+                if let Some(w) = e.waypoint {
+                    assert!(ft.graph().node(w).kind.is_switch());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The diagnoser: report aggregation and PLL every window (§3.1, §6.1).
+
+use detector_core::pll::{
+    classify_loss, localize, ClassifyConfig, Diagnosis, FlowSample, LossClassification, PllConfig,
+};
+use detector_core::pmc::ProbeMatrix;
+use detector_core::types::{LinkId, PathObservation};
+
+use crate::report::{PingerReport, ReportStore};
+use crate::watchdog::Watchdog;
+
+/// One diagnosis produced at the end of a window.
+#[derive(Clone, Debug)]
+pub struct DiagnosisEvent {
+    /// The window the diagnosis covers.
+    pub window: u64,
+    /// Number of per-path observations aggregated.
+    pub num_observations: usize,
+    /// The PLL output.
+    pub diagnosis: Diagnosis,
+}
+
+/// The diagnoser service.
+pub struct Diagnoser {
+    matrix: ProbeMatrix,
+    pll: PllConfig,
+    store: ReportStore,
+}
+
+impl Diagnoser {
+    /// A diagnoser for the given probe matrix.
+    pub fn new(matrix: ProbeMatrix, pll: PllConfig) -> Self {
+        Self {
+            matrix,
+            pll,
+            store: ReportStore::new(),
+        }
+    }
+
+    /// The probe matrix in force.
+    pub fn matrix(&self) -> &ProbeMatrix {
+        &self.matrix
+    }
+
+    /// Replaces the probe matrix (new controller cycle).
+    pub fn set_matrix(&mut self, matrix: ProbeMatrix) {
+        self.matrix = matrix;
+    }
+
+    /// Ingests a pinger report (the HTTP POST of §6.1).
+    pub fn ingest(&self, report: PingerReport) {
+        self.store.ingest(report);
+    }
+
+    /// Aggregated observations of a window, excluding watchdog-flagged
+    /// pingers.
+    pub fn observations(&self, window: u64, watchdog: &Watchdog) -> Vec<PathObservation> {
+        self.store
+            .window_observations(window, &|p| !watchdog.is_healthy(p))
+    }
+
+    /// Runs PLL over a window's observations.
+    pub fn diagnose(&self, window: u64, watchdog: &Watchdog) -> DiagnosisEvent {
+        let obs = self.observations(window, watchdog);
+        let diagnosis = localize(&self.matrix, &obs, &self.pll);
+        DiagnosisEvent {
+            window,
+            num_observations: obs.len(),
+            diagnosis,
+        }
+    }
+
+    /// Prunes stored reports older than `keep_from`.
+    pub fn prune_before(&self, keep_from: u64) {
+        self.store.prune_before(keep_from);
+    }
+
+    /// Classifies the loss pattern behind a suspect link (§7): aggregates
+    /// the per-flow counters of the window's reports over the paths
+    /// through the link and looks at the per-flow loss profile. Each
+    /// (path, flow) pair is one sample — a blackhole drops a flow on one
+    /// path deterministically, so bimodality shows at that granularity.
+    pub fn classify_suspect(
+        &self,
+        window: u64,
+        link: LinkId,
+        watchdog: &Watchdog,
+    ) -> Option<LossClassification> {
+        let through: std::collections::HashSet<_> =
+            self.matrix.paths_through(link).map(|p| p.id).collect();
+        let samples = self
+            .store
+            .flow_samples(window, &|p| !watchdog.is_healthy(p), &|pid| {
+                through.contains(&pid)
+            });
+        let samples: Vec<FlowSample> = samples
+            .into_iter()
+            .map(|((pinger, pid, flow), (sent, lost))| {
+                let id = ((pinger.0 as u64) << 48) ^ ((pid.0 as u64) << 24) ^ flow;
+                FlowSample::new(id, sent, lost)
+            })
+            .collect();
+        classify_loss(&samples, &ClassifyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PathCounters;
+    use detector_core::types::{LinkId, NodeId, PathId, ProbePath};
+
+    fn matrix() -> ProbeMatrix {
+        ProbeMatrix::from_paths(
+            2,
+            vec![
+                ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+                ProbePath::from_links(1, vec![LinkId(0)]),
+                ProbePath::from_links(2, vec![LinkId(1)]),
+            ],
+        )
+    }
+
+    fn report(pinger: u32, window: u64, rows: &[(u32, u64, u64)]) -> PingerReport {
+        let mut r = PingerReport {
+            pinger: NodeId(pinger),
+            window,
+            ..Default::default()
+        };
+        for &(p, sent, lost) in rows {
+            r.paths.insert(
+                PathId(p),
+                PathCounters {
+                    sent,
+                    lost,
+                    ..Default::default()
+                },
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn diagnoses_from_aggregated_reports() {
+        let d = Diagnoser::new(matrix(), PllConfig::default());
+        // Link 0 bad: paths 0 and 1 lossy from two pingers.
+        d.ingest(report(1, 0, &[(0, 50, 25), (1, 50, 25), (2, 50, 0)]));
+        d.ingest(report(2, 0, &[(0, 50, 25), (1, 50, 25), (2, 50, 0)]));
+        let ev = d.diagnose(0, &Watchdog::new());
+        assert_eq!(ev.num_observations, 3);
+        assert_eq!(ev.diagnosis.suspect_links(), vec![LinkId(0)]);
+    }
+
+    #[test]
+    fn flagged_pingers_are_excluded() {
+        let d = Diagnoser::new(matrix(), PllConfig::default());
+        // Pinger 9 is sick and reports everything lost.
+        d.ingest(report(1, 0, &[(0, 50, 0), (1, 50, 0), (2, 50, 0)]));
+        d.ingest(report(9, 0, &[(0, 50, 50), (1, 50, 50), (2, 50, 50)]));
+        let mut w = Watchdog::new();
+        w.mark_unhealthy(NodeId(9));
+        let ev = d.diagnose(0, &w);
+        assert!(ev.diagnosis.is_clean());
+    }
+
+    #[test]
+    fn empty_window_is_clean() {
+        let d = Diagnoser::new(matrix(), PllConfig::default());
+        let ev = d.diagnose(3, &Watchdog::new());
+        assert_eq!(ev.num_observations, 0);
+        assert!(ev.diagnosis.is_clean());
+    }
+}

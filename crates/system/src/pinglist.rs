@@ -1,0 +1,98 @@
+//! Pinglists: what the controller dispatches to each pinger (§6.1).
+//!
+//! A pinglist carries a file version, the pinger's identity, one entry per
+//! probe path assigned to the pinger (the source-routed node sequence, the
+//! responder, the waypoint for IP-in-IP encapsulation and the port/DSCP
+//! configuration), and the sending interval. The paper serializes these as
+//! XML files fetched over HTTP; we serialize with serde.
+
+use detector_core::types::{NodeId, PathId};
+use serde::{Deserialize, Serialize};
+
+/// One probe assignment within a pinglist.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PingEntry {
+    /// Probe-matrix path this entry exercises; `None` for in-rack probes
+    /// (server ↔ ToR links are monitored separately, §3.1).
+    pub path: Option<PathId>,
+    /// Full node route from the pinger to the responder.
+    pub route: Vec<NodeId>,
+    /// The responder server.
+    pub responder: NodeId,
+    /// Decapsulation waypoint (core/intermediate switch) for IP-in-IP
+    /// source routing; `None` when ECMP would already follow the route.
+    pub waypoint: Option<NodeId>,
+}
+
+/// A pinger's probing assignment for one cycle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pinglist {
+    /// Version (controller cycle number) for idempotent refreshes.
+    pub version: u64,
+    /// The pinger server this list belongs to.
+    pub pinger: NodeId,
+    /// Probe assignments.
+    pub entries: Vec<PingEntry>,
+    /// Packet-sending interval in microseconds.
+    pub interval_us: u64,
+    /// First source port to loop from.
+    pub base_sport: u16,
+    /// Number of source ports to loop over per path.
+    pub port_range: u16,
+    /// Responder port.
+    pub dport: u16,
+}
+
+impl Pinglist {
+    /// Number of probe paths (excluding in-rack entries).
+    pub fn num_paths(&self) -> usize {
+        self.entries.iter().filter(|e| e.path.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Pinglist {
+        Pinglist {
+            version: 3,
+            pinger: NodeId(100),
+            entries: vec![
+                PingEntry {
+                    path: Some(PathId(7)),
+                    route: vec![NodeId(100), NodeId(1), NodeId(2), NodeId(101)],
+                    responder: NodeId(101),
+                    waypoint: Some(NodeId(2)),
+                },
+                PingEntry {
+                    path: None,
+                    route: vec![NodeId(100), NodeId(1), NodeId(102)],
+                    responder: NodeId(102),
+                    waypoint: None,
+                },
+            ],
+            interval_us: 100_000,
+            base_sport: 33000,
+            port_range: 16,
+            dport: 53533,
+        }
+    }
+
+    #[test]
+    fn num_paths_excludes_in_rack() {
+        assert_eq!(sample().num_paths(), 1);
+    }
+
+    #[test]
+    fn pinglists_are_cloneable_and_comparable() {
+        // Dispatch keeps a copy per pinger; equality drives idempotent
+        // refresh (same version ⇒ no re-dispatch).
+        let p = sample();
+        let q = p.clone();
+        assert_eq!(p, q);
+        let mut r = p.clone();
+        r.version += 1;
+        assert_ne!(p, r);
+    }
+}

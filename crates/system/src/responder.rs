@@ -1,0 +1,86 @@
+//! The responder: a stateless userspace echo service (§3.1).
+//!
+//! Runs on every server, listens on the probe port, and upon receiving a
+//! probe adds a timestamp and sends it back; it retains no state — all
+//! bookkeeping lives in the pingers. This module implements the packet
+//! transformation faithfully over the `detector-simnet` wire format.
+
+use bytes::Bytes;
+use detector_simnet::{decode_probe, encode_probe, PacketError, ProbePacket};
+
+/// The stateless responder.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Responder {
+    /// The port the responder listens on; probes to other ports are
+    /// ignored (returns [`PacketError::Malformed`]).
+    pub port: u16,
+}
+
+impl Responder {
+    /// A responder listening on `port`.
+    pub fn new(port: u16) -> Self {
+        Self { port }
+    }
+
+    /// Processes one incoming probe: validates it, swaps the flow
+    /// direction, stamps the receive time and returns the echo.
+    pub fn echo(&self, wire: Bytes, now_us: u64) -> Result<Bytes, PacketError> {
+        let probe = decode_probe(wire)?;
+        if probe.flow.dport != self.port {
+            return Err(PacketError::Malformed);
+        }
+        let reply = ProbePacket {
+            waypoint: 0, // Replies are routed natively, no encapsulation.
+            flow: probe.flow.reversed(),
+            seq: probe.seq,
+            path_id: probe.path_id,
+            timestamp_us: now_us,
+        };
+        Ok(encode_probe(&reply))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_simnet::FlowKey;
+
+    fn probe(dport: u16) -> ProbePacket {
+        ProbePacket {
+            waypoint: 42,
+            flow: FlowKey::udp(5, 9, 33001, dport),
+            seq: 3,
+            path_id: 17,
+            timestamp_us: 1000,
+        }
+    }
+
+    #[test]
+    fn echo_reverses_flow_and_keeps_identity() {
+        let r = Responder::new(53533);
+        let wire = encode_probe(&probe(53533));
+        let reply = r.echo(wire, 2000).unwrap();
+        let p = decode_probe(reply).unwrap();
+        assert_eq!(p.flow.src, 9);
+        assert_eq!(p.flow.dst, 5);
+        assert_eq!(p.flow.sport, 53533);
+        assert_eq!(p.seq, 3);
+        assert_eq!(p.path_id, 17);
+        assert_eq!(p.timestamp_us, 2000);
+        assert_eq!(p.waypoint, 0);
+    }
+
+    #[test]
+    fn wrong_port_is_rejected() {
+        let r = Responder::new(53533);
+        let wire = encode_probe(&probe(99));
+        assert_eq!(r.echo(wire, 0), Err(PacketError::Malformed));
+    }
+
+    #[test]
+    fn corrupt_probe_is_rejected() {
+        let r = Responder::new(53533);
+        let garbage = Bytes::from(vec![0u8; 64]);
+        assert!(r.echo(garbage, 0).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! # detector
+//!
+//! A from-scratch Rust reproduction of **deTector** (Peng et al., USENIX
+//! ATC 2017): a topology-aware monitoring system that detects *and*
+//! localizes packet-loss failures in data center networks from end-to-end
+//! probes alone.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * `core` ([`detector_core`]) — the paper's algorithms: PMC probe-matrix
+//!   construction (§4) and PLL loss localization (§5) with the Tomo /
+//!   SCORE / OMP baselines;
+//! * `topology` ([`detector_topology`]) — Fattree, VL2 and BCube generators
+//!   with ECMP path sets and symmetry-aware candidate providers;
+//! * `simnet` ([`detector_simnet`]) — the deterministic packet-level fabric
+//!   simulator standing in for the paper's SDN testbed;
+//! * `system` ([`detector_system`]) — the deTector runtime: controller,
+//!   pingers, responders, diagnoser, watchdog;
+//! * `baselines` ([`detector_baselines`]) — Pingmesh, NetNORAD, Netbouncer
+//!   and fbtracert emulations.
+//!
+//! # Examples
+//!
+//! ```
+//! use detector::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Build the paper's testbed topology and a (3,1) probe matrix.
+//! let ft = Fattree::new(4).unwrap();
+//! let matrix = construct_symmetric(&ft, &PmcConfig::new(3, 1)).unwrap();
+//!
+//! // Fail a link, probe, localize.
+//! let mut fabric = Fabric::quiet(&ft);
+//! let bad = ft.ac_link(1, 0, 1);
+//! fabric.set_discipline_both(bad, LossDiscipline::Full);
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let mut observations = Vec::new();
+//! for path in &matrix.paths {
+//!     let route = ft.graph().route_from_nodes(path.nodes().to_vec()).unwrap();
+//!     let mut lost = 0;
+//!     for i in 0..20u16 {
+//!         let flow = FlowKey::udp(route.nodes[0].0, route.nodes.last().unwrap().0, 33000 + i, 53533);
+//!         if !fabric.round_trip(&route, flow, &mut rng).success {
+//!             lost += 1;
+//!         }
+//!     }
+//!     observations.push(PathObservation::new(path.id, 20, lost));
+//! }
+//! let diagnosis = localize(&matrix, &observations, &PllConfig::default());
+//! assert_eq!(diagnosis.suspect_links(), vec![bad]);
+//! ```
+
+pub use detector_baselines as baselines;
+pub use detector_core as core;
+pub use detector_simnet as simnet;
+pub use detector_system as system;
+pub use detector_topology as topology;
+
+/// Convenient glob-import surface for examples and quick experiments.
+pub mod prelude {
+    pub use detector_baselines::{
+        fbtracert_localize, netbouncer_localize, BaselineConfig, BaselineSystem,
+    };
+    pub use detector_core::pll::{
+        evaluate_diagnosis, localize, localize_omp, localize_score, localize_tomo, Diagnosis,
+        LocalizationMetrics, PllConfig,
+    };
+    pub use detector_core::pmc::{
+        construct, max_identifiability, min_coverage, verify, PmcConfig, ProbeMatrix,
+    };
+    pub use detector_core::types::{LinkId, NodeId, PathId, PathObservation, ProbePath};
+    pub use detector_simnet::{Fabric, FailureGenerator, FailureScenario, FlowKey, LossDiscipline};
+    pub use detector_system::{MonitorRun, SystemConfig, WindowResult};
+    pub use detector_topology::{construct_symmetric, BCube, DcnTopology, Fattree, Route, Vl2};
+}

@@ -1,0 +1,100 @@
+//! Integration comparisons between deTector and the baseline monitoring
+//! systems on identical failure scenarios (the §2 motivation, end to end).
+
+use detector::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn detector_localizes_with_fewer_probes_than_pingmesh() {
+    let ft = Fattree::new(4).unwrap();
+    let bad = ft.ac_link(1, 0, 0);
+    let mut fabric = Fabric::quiet(&ft);
+    fabric.set_discipline_both(bad, LossDiscipline::Full);
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    // deTector: one window localizes, counting every probe sent.
+    let mut run = MonitorRun::new(&ft, SystemConfig::default().with_rate(2.0)).unwrap();
+    let w = run.run_window(&fabric, &mut rng);
+    assert!(w.diagnosis.suspect_links().contains(&bad));
+    let detector_probes = w.probes_sent * 2; // Ping + reply.
+
+    // Pingmesh: needs a detection round at comparable budget *plus* a
+    // Netbouncer sweep to name the link.
+    let bcfg = BaselineConfig::default();
+    let pm = BaselineSystem::pingmesh(&ft, bcfg);
+    let det = pm.detect_window(&fabric, detector_probes, &mut rng);
+    assert!(!det.suspects.is_empty());
+    let loc = netbouncer_localize(&ft, &fabric, &det.suspects, &bcfg, u64::MAX, &mut rng);
+    assert!(loc.links.contains(&bad));
+    let pingmesh_probes = det.probes_used + loc.probes_used;
+
+    assert!(
+        pingmesh_probes > detector_probes,
+        "pingmesh {pingmesh_probes} vs deTector {detector_probes}"
+    );
+}
+
+#[test]
+fn ecmp_dilution_hides_low_rate_loss_from_pair_probing() {
+    // §2: with ECMP, a low-rate loss on one of many parallel paths barely
+    // moves pair-level loss ratios; deTector's pinned paths accumulate
+    // evidence on the failing link itself.
+    let ft = Fattree::new(4).unwrap();
+    let bad = ft.ac_link(0, 0, 0);
+    let mut fabric = Fabric::quiet(&ft);
+    fabric.set_discipline_both(bad, LossDiscipline::RandomPartial { rate: 0.08 });
+    let mut rng = SmallRng::seed_from_u64(2);
+
+    // Pingmesh at a modest budget: few probes per pair, spread across 4
+    // parallel paths each — the suspect set is unreliable/noisy-empty.
+    let pm = BaselineSystem::pingmesh(&ft, BaselineConfig::default());
+    let det = pm.detect_window(&fabric, 1000, &mut rng);
+    let hit_pairs = det.pairs.iter().filter(|p| p.lost > 0).count();
+    // Most pairs see nothing at all.
+    assert!(
+        hit_pairs * 5 < det.pairs.len(),
+        "{} of {} pairs saw loss",
+        hit_pairs,
+        det.pairs.len()
+    );
+
+    // deTector with (3,1) pinned paths: several probes repeatedly cross
+    // the failing link every window; a couple of windows suffice.
+    let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+    let mut found = false;
+    for _ in 0..4 {
+        let w = run.run_window(&fabric, &mut rng);
+        if w.diagnosis.suspect_links().contains(&bad) {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "deTector must localize the low-rate loss");
+}
+
+#[test]
+fn fbtracert_needs_an_extra_round_that_transients_escape() {
+    let ft = Fattree::new(4).unwrap();
+    let bad = ft.ea_link(2, 1, 0);
+    let mut fabric = Fabric::quiet(&ft);
+    fabric.set_discipline_both(bad, LossDiscipline::Full);
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    let bcfg = BaselineConfig::default();
+    let nn = BaselineSystem::netnorad(&ft, bcfg, 4);
+    let det = nn.detect_window(&fabric, 8000, &mut rng);
+    assert!(
+        !det.suspects.is_empty(),
+        "NetNORAD detects the pair-level loss"
+    );
+
+    // Persistent failure: fbtracert localizes on the second round.
+    let loc = fbtracert_localize(&ft, &fabric, &det.suspects, &bcfg, u64::MAX, &mut rng);
+    assert!(loc.links.contains(&bad));
+
+    // Transient failure: gone before the second round.
+    fabric.clear_failures();
+    let loc = fbtracert_localize(&ft, &fabric, &det.suspects, &bcfg, u64::MAX, &mut rng);
+    assert!(loc.links.is_empty());
+}
