@@ -41,7 +41,7 @@ fn main() {
         load: 0.2,
         ..Default::default()
     };
-    let mut wl_rng = SmallRng::seed_from_u64(0xF16_4);
+    let mut wl_rng = SmallRng::seed_from_u64(0xF164);
     let flows = wl.generate(&ft, 1.0, 1e9, &mut wl_rng);
     let base_util = WorkloadGenerator::utilization(&ft, &flows, 1.0, 1e9);
 
@@ -63,7 +63,7 @@ fn main() {
             .with_rate(freq)
             .with_pmc(PmcConfig::new(3, 1));
         let mut run = MonitorRun::new(&ft, cfg).expect("system must boot");
-        let mut rng = SmallRng::seed_from_u64(0xF16_40 + freq as u64);
+        let mut rng = SmallRng::seed_from_u64(0x000F_1640 + freq as u64);
         let mut metrics = LocalizationMetrics::zero();
 
         for minute in 0..minutes {

@@ -45,7 +45,7 @@ fn detector_points(
             .with_rate(rate)
             .with_pmc(PmcConfig::new(3, 1));
         let mut run = MonitorRun::new(ft, cfg).expect("system must boot");
-        let mut rng = SmallRng::seed_from_u64(0xF15_00 + (rate * 10.0) as u64);
+        let mut rng = SmallRng::seed_from_u64(0x000F_1500 + (rate * 10.0) as u64);
         let mut metrics = LocalizationMetrics::zero();
         let mut probes = 0u64;
         for minute in 0..minutes {
@@ -88,7 +88,7 @@ fn baseline_points(
     };
     let mut out = Vec::new();
     for &budget in budgets {
-        let mut rng = SmallRng::seed_from_u64(0xF15_10 + budget);
+        let mut rng = SmallRng::seed_from_u64(0x000F_1510 + budget);
         let mut metrics = LocalizationMetrics::zero();
         let mut probes = 0u64;
         for minute in 0..minutes {

@@ -66,7 +66,7 @@ fn main() {
     for &n in &failures {
         // deTector.
         let mut run = MonitorRun::new(&ft, det_cfg.clone()).expect("boot");
-        let mut rng = SmallRng::seed_from_u64(0xF16_60 + n as u64);
+        let mut rng = SmallRng::seed_from_u64(0x000F_1660 + n as u64);
         let mut det = LocalizationMetrics::zero();
         for minute in 0..minutes {
             let mut fabric = Fabric::new(&ft, 1300 + minute as u64);

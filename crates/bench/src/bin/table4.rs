@@ -53,7 +53,7 @@ fn main() {
                 episodes,
                 30,
                 &pll,
-                0xDEC0 + (a as u64) << 8 | (b as u64) << 4 | fi as u64,
+                ((0xDEC0 + (a as u64)) << 8) | ((b as u64) << 4) | fi as u64,
             );
             cells.push(pct(m.accuracy));
         }

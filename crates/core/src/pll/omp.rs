@@ -161,8 +161,9 @@ fn solve_least_squares(om: &ObservedMatrix, support: &[LinkId], y: &[f64]) -> Ve
         }
         for r in (col + 1)..k {
             let f = gram[r][col] / d;
-            for c in col..k {
-                gram[r][c] -= f * gram[col][c];
+            let (upper, lower) = gram.split_at_mut(r);
+            for (rc, pc) in lower[0][col..].iter_mut().zip(&upper[col][col..]) {
+                *rc -= f * pc;
             }
             rhs[r] -= f * rhs[col];
         }

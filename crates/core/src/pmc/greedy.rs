@@ -25,21 +25,21 @@ pub(crate) fn run(
         check_deadline(deadline, start)?;
         let mut best: Option<(i64, usize)> = None;
         let mut evals = 0usize;
-        for i in 0..alive.len() {
-            let Some(p) = alive[i].as_ref() else { continue };
+        for (i, slot) in alive.iter_mut().enumerate() {
+            let Some(p) = slot.as_ref() else { continue };
             let e = state.evaluate(p)?;
             evals += 1;
-            if evals % 4096 == 0 {
+            if evals.is_multiple_of(4096) {
                 check_deadline(deadline, start)?;
             }
             if !e.useful(cfg.beta) {
                 // A useless path can never become useful again (its links
                 // are fully covered and its incident link sets can no
                 // longer split); drop it permanently.
-                alive[i] = None;
+                *slot = None;
                 continue;
             }
-            if best.map_or(true, |(s, _)| e.score < s) {
+            if best.is_none_or(|(s, _)| e.score < s) {
                 best = Some((e.score, i));
             }
         }

@@ -143,7 +143,7 @@ pub(crate) fn run_with_provider<P: CandidateProvider>(
         }
 
         let next_key = heap.peek().map(|t| t.score);
-        if next_key.map_or(true, |k| e.score <= k) {
+        if next_key.is_none_or(|k| e.score <= k) {
             state.select(&top.path)?;
         } else {
             heap.push(Entry {
@@ -192,7 +192,7 @@ fn pull_batch<P: CandidateProvider>(
         }
         let e = state.evaluate(&p)?;
         evals += 1;
-        if evals % 4096 == 0 {
+        if evals.is_multiple_of(4096) {
             check_deadline(deadline, start)?;
         }
         if e.useful(cfg.beta) {

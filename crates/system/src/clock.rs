@@ -38,7 +38,7 @@ impl SimClock {
     /// True when `period_s` divides the current second (used for cycle
     /// boundaries).
     pub fn on_boundary(&self, period_s: u64) -> bool {
-        period_s != 0 && self.now_us % (period_s * 1_000_000) == 0
+        period_s != 0 && self.now_us.is_multiple_of(period_s * 1_000_000)
     }
 }
 

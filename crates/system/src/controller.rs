@@ -76,7 +76,6 @@ impl<'a> Controller<'a> {
         if self.excluded_links.is_empty() {
             return matrix;
         }
-        let achieved = matrix.achieved;
         let kept: Vec<_> = matrix
             .paths
             .into_iter()
@@ -88,7 +87,7 @@ impl<'a> Controller<'a> {
             detector_core::pmc::Achieved {
                 coverage: 0,
                 identifiability: 0,
-                targets_met: achieved.targets_met && false,
+                targets_met: false,
             },
         )
     }
@@ -196,7 +195,7 @@ impl<'a> Controller<'a> {
                 route.push(responder);
 
                 // At least two pingers per path.
-                let take = pingers.len().min(2).max(1);
+                let take = pingers.len().clamp(1, 2);
                 for j in 0..take {
                     let pinger = pingers[(path.id.index() + j) % pingers.len()];
                     let mut r = route.clone();
@@ -226,8 +225,8 @@ impl<'a> Controller<'a> {
 
         // In-rack probes: each pinger probes every other server under its
         // ToR to cover server–ToR links (§3.1).
-        for li in 0..lists.len() {
-            let pinger = lists[li].pinger;
+        for list in &mut lists {
+            let pinger = list.pinger;
             let Some(tor) = graph.switch_of(pinger) else {
                 continue;
             };
@@ -235,7 +234,7 @@ impl<'a> Controller<'a> {
                 if peer == pinger || unhealthy.contains(&peer) {
                     continue;
                 }
-                lists[li].entries.push(PingEntry {
+                list.entries.push(PingEntry {
                     path: None,
                     route: vec![pinger, tor, peer],
                     responder: peer,

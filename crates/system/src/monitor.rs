@@ -100,8 +100,11 @@ impl<'a> MonitorRun<'a> {
     pub fn run_window(&mut self, fabric: &Fabric<'_>, rng: &mut SmallRng) -> WindowResult {
         // Controller cycle boundary: recompute pinglists (topology or
         // health may have changed). The matrix itself is recomputed too,
-        // matching §6.1's 10-minute refresh.
-        if self.window > 0 && (self.clock.now_s() % self.cfg.cycle_s) == 0 {
+        // matching §6.1's 10-minute refresh. A zero cycle_s would make
+        // `is_multiple_of` false forever (never refresh) — treat it as a
+        // misconfiguration loudly rather than serving stale pinglists.
+        assert!(self.cfg.cycle_s != 0, "SystemConfig::cycle_s must be > 0");
+        if self.window > 0 && self.clock.now_s().is_multiple_of(self.cfg.cycle_s) {
             if let Ok(dep) = self
                 .controller
                 .build_deployment(self.watchdog.unhealthy_set())

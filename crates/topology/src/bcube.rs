@@ -438,7 +438,7 @@ mod tests {
         }
         for p in b.enumerate_candidates() {
             assert!(
-                provided.contains(&p.links().to_vec()),
+                provided.contains(p.links()),
                 "missing candidate {:?}",
                 p.links()
             );

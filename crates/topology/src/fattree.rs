@@ -125,7 +125,14 @@ impl Dims {
     /// ToR-pair probe path through (group g, core c). For intra-pod pairs
     /// the path goes up to the core and back through the same aggregation
     /// switch.
-    fn tor_path(&self, id: u32, p1: u32, e1: u32, p2: u32, e2: u32, g: u32, c: u32) -> ProbePath {
+    fn tor_path(
+        &self,
+        id: u32,
+        (p1, e1): (u32, u32),
+        (p2, e2): (u32, u32),
+        g: u32,
+        c: u32,
+    ) -> ProbePath {
         if p1 == p2 {
             let nodes = vec![
                 self.edge(p1, e1),
@@ -169,7 +176,7 @@ pub struct Fattree {
 impl Fattree {
     /// Builds a k-ary Fattree; k must be even and ≥ 4.
     pub fn new(k: u32) -> Result<Self, TopologyError> {
-        if k < 4 || k % 2 != 0 {
+        if k < 4 || !k.is_multiple_of(2) {
             return Err(TopologyError::BadParameter {
                 what: "k must be even and >= 4",
             });
@@ -375,7 +382,7 @@ impl DcnTopology for Fattree {
             for &(p2, e2) in &tors[i + 1..] {
                 for g in 0..h {
                     for c in 0..h {
-                        out.push(self.dims.tor_path(id, p1, e1, p2, e2, g, c));
+                        out.push(self.dims.tor_path(id, (p1, e1), (p2, e2), g, c));
                         id += 1;
                     }
                 }
@@ -561,7 +568,7 @@ impl FattreeGroupProvider {
     fn push_inter(&mut self, p1: u32, e1: u32, p2: u32, e2: u32, c: u32, out: &mut Vec<ProbePath>) {
         let id = self.next_id;
         self.next_id += 1;
-        out.push(self.dims.tor_path(id, p1, e1, p2, e2, self.group, c));
+        out.push(self.dims.tor_path(id, (p1, e1), (p2, e2), self.group, c));
     }
 
     /// Emits the intra-pod round `r`: one up-and-back path per pod.
@@ -574,7 +581,7 @@ impl FattreeGroupProvider {
         for pod in 0..self.dims.k {
             let id = self.next_id;
             self.next_id += 1;
-            out.push(self.dims.tor_path(id, pod, e1, pod, e2, self.group, c));
+            out.push(self.dims.tor_path(id, (pod, e1), (pod, e2), self.group, c));
         }
     }
 }

@@ -254,7 +254,7 @@ impl Dcn {
             for (peer, link) in adj {
                 let l = self.link(*link);
                 let here = NodeId(ni as u32);
-                if !(l.a == here && l.b == *peer) && !(l.b == here && l.a == *peer) {
+                if !(l.a == here && l.b == *peer || l.b == here && l.a == *peer) {
                     return Err(format!("adjacency of n{ni} disagrees with link {link}"));
                 }
             }

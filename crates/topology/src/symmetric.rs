@@ -14,6 +14,10 @@ use detector_core::types::ProbePath;
 
 use crate::DcnTopology;
 
+/// Maps a base-component path to a replica index (see
+/// [`BaseComponent::replicate`]).
+pub type ReplicateFn = Box<dyn Fn(&ProbePath, u32) -> ProbePath + Send + Sync>;
+
 /// One isomorphism class of components: a provider for the base component
 /// plus the map that re-homes base paths onto each replica.
 pub struct BaseComponent {
@@ -23,7 +27,7 @@ pub struct BaseComponent {
     pub replicas: u32,
     /// Maps a base-component path to replica `r` (`r = 0` must be the
     /// identity).
-    pub replicate: Box<dyn Fn(&ProbePath, u32) -> ProbePath + Send + Sync>,
+    pub replicate: ReplicateFn,
 }
 
 /// A topology's full symmetry plan.

@@ -117,12 +117,12 @@ impl Vl2 {
     /// Builds VL2(da, di, servers_per_tor); `da` and `di` must be even and
     /// ≥ 4 / ≥ 2 respectively.
     pub fn new(da: u32, di: u32, servers_per_tor: u32) -> Result<Self, TopologyError> {
-        if da < 4 || da % 2 != 0 {
+        if da < 4 || !da.is_multiple_of(2) {
             return Err(TopologyError::BadParameter {
                 what: "da must be even and >= 4",
             });
         }
-        if di < 2 || di % 2 != 0 {
+        if di < 2 || !di.is_multiple_of(2) {
             return Err(TopologyError::BadParameter {
                 what: "di must be even and >= 2",
             });
@@ -344,7 +344,7 @@ impl Vl2Provider {
         // Pairings over T ToRs via the circle method; T may be odd, in
         // which case one ToR sits out per round (a "bye").
         let t = dims.tors as u64;
-        let pairings = if t % 2 == 0 { t - 1 } else { t };
+        let pairings = if t.is_multiple_of(2) { t - 1 } else { t };
         Self {
             dims,
             universe,
@@ -362,7 +362,7 @@ impl Vl2Provider {
         let u = ((r / ints) % 2) as u32;
         let dn = ((r / (2 * ints)) % 2) as u32;
         let t = d.tors as u64;
-        let (m, fixed) = if t % 2 == 0 {
+        let (m, fixed) = if t.is_multiple_of(2) {
             (t - 1, Some(t - 1))
         } else {
             (t, None)

@@ -45,17 +45,16 @@ fn drill(
 /// The switch shared by every suspect link, if any.
 fn common_switch(ft: &Fattree, suspects: &[LinkId]) -> Option<NodeId> {
     let (first, rest) = suspects.split_first()?;
+    if rest.is_empty() {
+        return None;
+    }
     let l0 = ft.graph().link(*first);
-    for cand in [l0.a, l0.b] {
-        if rest.iter().all(|&l| {
+    [l0.a, l0.b].into_iter().find(|&cand| {
+        rest.iter().all(|&l| {
             let lk = ft.graph().link(l);
             lk.a == cand || lk.b == cand
-        }) && !rest.is_empty()
-        {
-            return Some(cand);
-        }
-    }
-    None
+        })
+    })
 }
 
 fn main() {

@@ -1,0 +1,408 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, `collection::{vec, btree_set}`, `Just`, `ProptestConfig`,
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: inputs are drawn from a fixed-seed
+//! deterministic RNG (no persisted failure files), there is **no
+//! shrinking** — a failing case panics with the assertion message — and
+//! `prop_assume!` skips the case without drawing a replacement. Cases are
+//! deterministic per test function, so failures reproduce exactly.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A runner with a deterministic per-test seed.
+    pub fn deterministic(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Access the underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns
+    /// for it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Filters generated values; non-matching draws are retried.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// Strategy yielding a constant.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T::Value {
+        (self.f)(self.inner.new_value(runner)).new_value(runner)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: predicate rejected 1000 consecutive draws");
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use rand::Rng;
+
+    use super::{BTreeSet, Range, Strategy, TestRunner};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = runner.rng().gen_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target size drawn from
+    /// `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `BTreeSet` of values from `element`; aims for a size in `size`
+    /// (duplicates shrink the realized size, as in real proptest).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            let target = runner.rng().gen_range(self.size.clone()).max(1);
+            let mut out = BTreeSet::new();
+            // Bounded retries: with a small element domain the target may
+            // exceed the number of distinct values.
+            for _ in 0..target * 20 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.new_value(runner));
+            }
+            out
+        }
+
+        type Value = BTreeSet<S::Value>;
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::Config` stand-in).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Everything the `proptest!` macro and typical tests need in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestRunner,
+    };
+}
+
+/// Deterministic seed for a named test: FNV-1a over the name, so each
+/// property gets an independent but reproducible stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Control-flow signal used by `prop_assume!`.
+pub enum CaseResult {
+    /// The case ran to completion.
+    Ok,
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+}
+
+/// Defines property tests. Supports the subset of real proptest syntax
+/// used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop((a, b) in strategy(), c in 0usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::TestRunner::deterministic($crate::seed_for(stringify!($name)));
+                let mut ran = 0u32;
+                let mut attempts = 0u32;
+                while ran < config.cases && attempts < config.cases * 20 {
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut runner);)+
+                    // The closure gives `prop_assume!` an early-exit
+                    // channel (`return CaseResult::Reject`).
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> $crate::CaseResult {
+                        $body
+                        $crate::CaseResult::Ok
+                    })();
+                    if let $crate::CaseResult::Ok = outcome {
+                        ran += 1;
+                    }
+                }
+                assert!(
+                    ran > 0,
+                    "proptest shim: every generated case was rejected by prop_assume!"
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a property (panics; the shim has no shrinking phase).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Discards the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (2usize..10).prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..n as u32, 1..5)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_respect_bounds((n, xs) in pairs(), k in 0usize..7) {
+            prop_assert!((2..10).contains(&n));
+            prop_assert!(k < 7);
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            for x in xs {
+                prop_assert!((x as usize) < n, "element {} out of bounds {}", x, n);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn btree_set_is_bounded() {
+        let mut runner = TestRunner::deterministic(1);
+        let s = crate::collection::btree_set(0u32..4, 1..5);
+        for _ in 0..100 {
+            let set = Strategy::new_value(&s, &mut runner);
+            assert!(!set.is_empty() && set.len() <= 4);
+        }
+    }
+}

@@ -16,7 +16,7 @@ fn candidate_sets() -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
     })
 }
 
-fn build(n: usize, raw: &[Vec<u32>]) -> Vec<ProbePath> {
+fn build(raw: &[Vec<u32>]) -> Vec<ProbePath> {
     raw.iter()
         .enumerate()
         .map(|(i, ls)| ProbePath::from_links(i as u32, ls.iter().map(|&l| LinkId(l)).collect()))
@@ -31,7 +31,7 @@ proptest! {
     fn construction_claims_are_verified((n, raw) in candidate_sets()) {
         for beta in 0..=2u32 {
             let cfg = PmcConfig::new(1, beta);
-            let m = construct(n, build(n, &raw), &cfg).unwrap();
+            let m = construct(n, build(&raw), &cfg).unwrap();
             if m.achieved.targets_met {
                 prop_assert!(min_coverage(&m) >= 1);
                 prop_assert!(
@@ -47,8 +47,8 @@ proptest! {
     /// The lazy greedy and the strawman agree on target attainability.
     #[test]
     fn lazy_and_strawman_agree((n, raw) in candidate_sets()) {
-        let lazy = construct(n, build(n, &raw), &PmcConfig::identifiable(1)).unwrap();
-        let straw = construct(n, build(n, &raw), &PmcConfig::identifiable(1).strawman()).unwrap();
+        let lazy = construct(n, build(&raw), &PmcConfig::identifiable(1)).unwrap();
+        let straw = construct(n, build(&raw), &PmcConfig::identifiable(1).strawman()).unwrap();
         prop_assert_eq!(lazy.achieved.targets_met, straw.achieved.targets_met);
     }
 
@@ -59,7 +59,7 @@ proptest! {
     /// identifiability).
     #[test]
     fn single_failure_is_exactly_recovered((n, raw) in candidate_sets(), pick in 0usize..1000) {
-        let m = construct(n, build(n, &raw), &PmcConfig::identifiable(1)).unwrap();
+        let m = construct(n, build(&raw), &PmcConfig::identifiable(1)).unwrap();
         prop_assume!(m.achieved.targets_met);
         let bad = LinkId((pick % n) as u32);
 
@@ -75,18 +75,22 @@ proptest! {
     }
 
     /// For ≤β simultaneous full-loss failures on a β-identifiable matrix,
-    /// the greedy explains *every* loss with fully-consistent suspects
-    /// (each blamed link's paths are all lossy). It may blame a superset —
-    /// the greedy is a minimum-hitting-set heuristic, which is where the
-    /// paper's residual false positives come from — but never leaves
-    /// losses unexplained and never misses both failures.
+    /// the greedy explains *every* loss and blames only links that meet
+    /// the hit-ratio threshold. It may blame wrong links — the greedy is a
+    /// minimum-hitting-set heuristic that ranks by explained losses with
+    /// hit ratio only as a filter, which is where the paper's residual
+    /// false positives come from (§5.3) — so exact recovery is only
+    /// guaranteed in one sharp case: when every suspect is fully
+    /// consistent (hit ratio 1) and there are at most β of them,
+    /// β-identifiability forces the suspect set to equal the true failure
+    /// set (both are ≤β failure hypotheses producing the same lossy set).
     #[test]
     fn pair_failures_are_consistently_explained(
         (n, raw) in candidate_sets(),
         p1 in 0usize..1000,
         p2 in 0usize..1000,
     ) {
-        let m = construct(n, build(n, &raw), &PmcConfig::identifiable(2)).unwrap();
+        let m = construct(n, build(&raw), &PmcConfig::identifiable(2)).unwrap();
         prop_assume!(m.achieved.targets_met);
         let mut bad = vec![LinkId((p1 % n) as u32), LinkId((p2 % n) as u32)];
         bad.sort_unstable();
@@ -100,27 +104,78 @@ proptest! {
                 PathObservation::new(p.id, 100, if lossy { 100 } else { 0 })
             })
             .collect();
-        let d = localize(&m, &observations, &PllConfig::default());
+        let cfg = PllConfig::default();
+        let d = localize(&m, &observations, &cfg);
+        // The true links have hit ratio 1 and cover every lossy path, so
+        // the greedy can always make progress: nothing stays unexplained.
         prop_assert!(d.unexplained_paths.is_empty(), "losses left unexplained");
         prop_assert!(!d.suspects.is_empty());
-        // At least one true failure is always identified, and every
-        // suspect is consistent with the observations (all paths lossy).
-        let suspects = d.suspect_links();
-        prop_assert!(bad.iter().any(|b| suspects.contains(b)));
+        // Every suspect passed the hit-ratio filter and explained
+        // something.
         for s in &d.suspects {
             prop_assert!(
-                (s.hit_ratio - 1.0).abs() < 1e-12,
-                "suspect {} blamed with hit ratio {}",
+                s.hit_ratio >= cfg.hit_ratio_threshold,
+                "suspect {} below threshold ({})",
                 s.link,
                 s.hit_ratio
             );
+            prop_assert!(s.explained_paths > 0);
         }
+        // The sharp identifiability consequence.
+        let fully_consistent = d
+            .suspects
+            .iter()
+            .all(|s| (s.hit_ratio - 1.0).abs() < 1e-12);
+        if fully_consistent && d.suspects.len() <= 2 {
+            prop_assert_eq!(
+                d.suspect_links(),
+                bad.clone(),
+                "≤2 fully-consistent suspects must be exactly the failed links"
+            );
+        }
+    }
+
+    /// Structural sanity of constructed matrices: selection never keeps a
+    /// path covering zero links (an empty routing-matrix row can neither
+    /// cover nor identify anything and would only inflate probe cost),
+    /// and row ids come out densely renumbered so observations index
+    /// correctly.
+    #[test]
+    fn constructed_matrices_have_no_empty_paths(
+        (n, raw) in candidate_sets(),
+        empties in 0usize..4,
+        alpha in 1u32..3,
+        beta in 0u32..3,
+    ) {
+        // Splice some explicitly empty candidate paths in as well — the
+        // generator above never produces them, but callers might.
+        let mut candidates = build(&raw);
+        for e in 0..empties {
+            candidates.push(ProbePath::from_links((raw.len() + e) as u32, vec![]));
+        }
+        let m = construct(n, candidates, &PmcConfig::new(alpha, beta)).unwrap();
+        for (i, p) in m.paths.iter().enumerate() {
+            prop_assert!(!p.is_empty(), "selected path {} covers no links", i);
+            prop_assert_eq!(p.id, PathId(i as u32), "path ids must be dense");
+        }
+    }
+
+    /// `PathObservation::new` upholds `lost <= sent` for arbitrary counter
+    /// values (pinger counters can disagree transiently — e.g. a reply
+    /// arriving after its window closed — and the diagnoser's loss ratios
+    /// must still land in [0, 1]).
+    #[test]
+    fn observation_lost_never_exceeds_sent(sent in 0u64..2_000_000, lost in 0u64..4_000_000) {
+        let o = PathObservation::new(PathId(0), sent, lost);
+        prop_assert!(o.lost <= o.sent, "lost {} > sent {}", o.lost, o.sent);
+        let r = o.loss_ratio();
+        prop_assert!((0.0..=1.0).contains(&r), "loss ratio {} out of [0,1]", r);
     }
 
     /// PLL never blames a link all of whose paths are clean.
     #[test]
     fn pll_never_blames_exonerated_links((n, raw) in candidate_sets(), bad in 0u32..24) {
-        let m = construct(n, build(n, &raw), &PmcConfig::coverage(1)).unwrap();
+        let m = construct(n, build(&raw), &PmcConfig::coverage(1)).unwrap();
         let bad = LinkId(bad % n as u32);
         let observations: Vec<PathObservation> = m
             .paths
