@@ -1,6 +1,7 @@
 //! Shared pieces of the baseline systems.
 
-use detector_core::types::NodeId;
+use detector_core::pmc::ProbeMatrix;
+use detector_core::types::{NodeId, PathObservation};
 
 /// Baseline behaviour knobs (kept identical across systems, §6.2: "we
 /// implement those details in the same way across all three systems").
@@ -63,6 +64,24 @@ pub struct DetectionResult {
     /// Pairs exceeding the loss threshold (candidates for localization).
     pub suspects: Vec<(NodeId, NodeId)>,
     /// Probes consumed (ping + reply, as Fig. 5 counts them).
+    pub probes_used: u64,
+}
+
+/// What a localization sweep gathered: an ad-hoc probe matrix over the
+/// swept paths plus one observation per path.
+///
+/// Feeding this to a [`Localizer`](detector_core::pll::Localizer) —
+/// Netbouncer's tomography or fbtracert's hop-blame walk — yields the
+/// baseline's diagnosis; the split mirrors deTector's own matrix /
+/// observations / localize pipeline so every system shares one
+/// inference interface.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The swept paths as a probe matrix.
+    pub matrix: ProbeMatrix,
+    /// Loss counters per swept path.
+    pub observations: Vec<PathObservation>,
+    /// Probes consumed by the sweep (ping + reply).
     pub probes_used: u64,
 }
 

@@ -18,12 +18,24 @@
 //! failures may be gone before it fires — the coupling argument at the
 //! heart of the paper.
 
+//! # The unified localization interface
+//!
+//! Both baselines' inference stages implement the
+//! [`Localizer`](detector_core::pll::Localizer) trait shared with PLL /
+//! Tomo / SCORE / OMP: a *sweep* function gathers a
+//! [`SweepResult`] (budgeted probing), and [`NetbouncerLocalizer`] /
+//! [`FbtracertLocalizer`] turn its matrix + observations into a
+//! `Diagnosis` — so comparison harnesses drive every system through one
+//! polymorphic call. The `*_localize` functions compose the two stages.
+
 mod common;
 mod fbtracert;
 mod netbouncer;
 mod pingmesh;
 
-pub use common::{BaselineConfig, DetectionResult, PairObservation, ProbeBudget};
-pub use fbtracert::fbtracert_localize;
-pub use netbouncer::netbouncer_localize;
+pub use common::{BaselineConfig, DetectionResult, PairObservation, ProbeBudget, SweepResult};
+pub use fbtracert::{fbtracert_localize, fbtracert_sweep, FbtracertLocalizer};
+pub use netbouncer::{
+    netbouncer_localize, netbouncer_sweep, BaselineDiagnosis, NetbouncerLocalizer,
+};
 pub use pingmesh::{BaselineKind, BaselineSystem};

@@ -2,20 +2,25 @@
 //! server pair, sweep *all* parallel paths between the pair with
 //! source-routed probes and infer per-link health from the per-path
 //! results. Netbouncer's real inference estimates per-link success
-//! probabilities from lossy *and* clean paths, so we run the hit-ratio
-//! localizer over the sweep observations (plain set-cover tomography
-//! cannot exonerate links that clean paths passed through and
-//! mis-localizes single-pair sweeps).
+//! probabilities from lossy *and* clean paths, so the inference stage —
+//! [`NetbouncerLocalizer`] — runs the hit-ratio localizer over the sweep
+//! observations (plain set-cover tomography cannot exonerate links that
+//! clean paths passed through and mis-localizes single-pair sweeps).
+//!
+//! The two stages are split along the unified [`Localizer`] interface:
+//! [`netbouncer_sweep`] gathers a [`SweepResult`] (probing, budgeted),
+//! [`NetbouncerLocalizer::localize`] turns it into a [`Diagnosis`]
+//! (inference, pure). [`netbouncer_localize`] composes both.
 
-use detector_core::pll::{localize, PllConfig};
+use detector_core::pll::{localize, Diagnosis, Localizer, PllConfig};
 use detector_core::pmc::ProbeMatrix;
-use detector_core::types::{LinkId, PathObservation, ProbePath};
+use detector_core::types::{LinkId, NodeId, PathObservation, ProbePath};
 use detector_simnet::{Fabric, FlowKey};
 use detector_topology::DcnTopology;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::common::{BaselineConfig, ProbeBudget};
+use crate::common::{BaselineConfig, ProbeBudget, SweepResult};
 
 /// Result of a localization round.
 #[derive(Clone, Debug, Default)]
@@ -26,16 +31,33 @@ pub struct BaselineDiagnosis {
     pub probes_used: u64,
 }
 
-/// Sweeps every ECMP path of every suspect pair and localizes over the
-/// gathered observations (see module docs for the inference choice).
-pub fn netbouncer_localize(
+/// Netbouncer's inference stage: per-link health from a path sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetbouncerLocalizer {
+    /// Settings of the underlying hit-ratio localizer.
+    pub cfg: PllConfig,
+}
+
+impl Localizer for NetbouncerLocalizer {
+    fn name(&self) -> &str {
+        "Netbouncer"
+    }
+
+    fn localize(&self, matrix: &ProbeMatrix, observations: &[PathObservation]) -> Diagnosis {
+        localize(matrix, observations, &self.cfg)
+    }
+}
+
+/// Sweeps every ECMP path of every suspect pair, gathering one
+/// observation per parallel path until the round-trip budget runs out.
+pub fn netbouncer_sweep(
     topo: &dyn DcnTopology,
     fabric: &Fabric<'_>,
-    suspects: &[(detector_core::types::NodeId, detector_core::types::NodeId)],
+    suspects: &[(NodeId, NodeId)],
     cfg: &BaselineConfig,
     budget_round_trips: u64,
     rng: &mut SmallRng,
-) -> BaselineDiagnosis {
+) -> SweepResult {
     let mut budget = ProbeBudget::default();
     let mut paths: Vec<ProbePath> = Vec::new();
     let mut observations: Vec<PathObservation> = Vec::new();
@@ -79,18 +101,36 @@ pub fn netbouncer_localize(
         }
     }
 
-    if paths.is_empty() {
+    SweepResult {
+        matrix: ProbeMatrix::from_paths(topo.probe_links(), paths),
+        observations,
+        probes_used: budget.probes(),
+    }
+}
+
+/// Sweeps the suspects and localizes over the gathered observations (see
+/// module docs for the inference choice): the composed two-round
+/// Netbouncer pipeline.
+pub fn netbouncer_localize(
+    topo: &dyn DcnTopology,
+    fabric: &Fabric<'_>,
+    suspects: &[(NodeId, NodeId)],
+    cfg: &BaselineConfig,
+    budget_round_trips: u64,
+    rng: &mut SmallRng,
+) -> BaselineDiagnosis {
+    let sweep = netbouncer_sweep(topo, fabric, suspects, cfg, budget_round_trips, rng);
+    if sweep.matrix.num_paths() == 0 {
         return BaselineDiagnosis {
             links: Vec::new(),
-            probes_used: budget.probes(),
+            probes_used: sweep.probes_used,
         };
     }
-
-    let matrix = ProbeMatrix::from_paths(topo.probe_links(), paths);
-    let diagnosis = localize(&matrix, &observations, &PllConfig::default());
+    let localizer = NetbouncerLocalizer::default();
+    let diagnosis = localizer.localize(&sweep.matrix, &sweep.observations);
     BaselineDiagnosis {
         links: diagnosis.suspect_links(),
-        probes_used: budget.probes(),
+        probes_used: sweep.probes_used,
     }
 }
 
@@ -165,5 +205,27 @@ mod tests {
             &mut rng,
         );
         assert_eq!(d.probes_used, 10 * 2);
+    }
+
+    #[test]
+    fn sweep_plus_trait_object_matches_composed_call() {
+        // The unified Localizer interface must agree with the convenience
+        // wrapper on identical sweep data.
+        let ft = Fattree::new(4).unwrap();
+        let mut fabric = Fabric::quiet(&ft);
+        let bad = ft.ac_link(0, 0, 0);
+        fabric.set_discipline_both(bad, LossDiscipline::Full);
+        let suspects = vec![(ft.server(0, 0, 0), ft.server(1, 0, 0))];
+        let cfg = BaselineConfig::default();
+
+        let mut rng = SmallRng::seed_from_u64(7);
+        let sweep = netbouncer_sweep(&ft, &fabric, &suspects, &cfg, u64::MAX, &mut rng);
+        let localizer: Box<dyn Localizer> = Box::new(NetbouncerLocalizer::default());
+        let via_trait = localizer.localize(&sweep.matrix, &sweep.observations);
+
+        let mut rng = SmallRng::seed_from_u64(7);
+        let composed = netbouncer_localize(&ft, &fabric, &suspects, &cfg, u64::MAX, &mut rng);
+        assert_eq!(via_trait.suspect_links(), composed.links);
+        assert!(via_trait.suspect_links().contains(&bad));
     }
 }

@@ -9,6 +9,7 @@
 //! paper's default.
 
 use detector_bench::{accuracy_campaign, bench_pll, pct, Scale, Table};
+use detector_core::pll::PllLocalizer;
 use detector_core::pmc::PmcConfig;
 use detector_simnet::FailureGenerator;
 use detector_topology::{construct_symmetric, Fattree};
@@ -36,7 +37,7 @@ fn main() {
     );
     let mut table = Table::new(vec!["tau", "accuracy %", "false pos %", "false neg %"]);
     for &tau in &taus {
-        let pll = bench_pll().with_hit_ratio(tau);
+        let pll = PllLocalizer::new(bench_pll().with_hit_ratio(tau));
         let m = accuracy_campaign(
             &ft,
             &matrix,

@@ -14,10 +14,11 @@ use detector_bench::{pct, Scale, Table};
 use detector_core::pll::{evaluate_diagnosis, LocalizationMetrics};
 use detector_core::pmc::PmcConfig;
 use detector_simnet::{measure_workload_rtt, Fabric, FailureGenerator, WorkloadGenerator};
-use detector_system::{MonitorRun, PingerCostModel, SystemConfig};
+use detector_system::{Detector, PingerCostModel, SystemConfig};
 use detector_topology::{DcnTopology, Fattree};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,7 +28,7 @@ fn main() {
     };
     let freqs = [1.0f64, 2.0, 5.0, 10.0, 15.0, 20.0, 50.0];
 
-    let ft = Fattree::new(4).unwrap();
+    let ft = Arc::new(Fattree::new(4).unwrap());
     let gen = FailureGenerator {
         switch_fraction: 0.1,
         ..FailureGenerator::default()
@@ -42,8 +43,8 @@ fn main() {
         ..Default::default()
     };
     let mut wl_rng = SmallRng::seed_from_u64(0xF164);
-    let flows = wl.generate(&ft, 1.0, 1e9, &mut wl_rng);
-    let base_util = WorkloadGenerator::utilization(&ft, &flows, 1.0, 1e9);
+    let flows = wl.generate(ft.as_ref(), 1.0, 1e9, &mut wl_rng);
+    let base_util = WorkloadGenerator::utilization(ft.as_ref(), &flows, 1.0, 1e9);
 
     println!("Fig. 4: probe-frequency sensitivity, 4-ary Fattree, {minutes} minutes per point\n");
     let mut table = Table::new(vec![
@@ -62,24 +63,27 @@ fn main() {
         let cfg = SystemConfig::default()
             .with_rate(freq)
             .with_pmc(PmcConfig::new(3, 1));
-        let mut run = MonitorRun::new(&ft, cfg).expect("system must boot");
+        let mut run = Detector::new(ft.clone(), cfg).expect("system must boot");
         let mut rng = SmallRng::seed_from_u64(0x000F_1640 + freq as u64);
         let mut metrics = LocalizationMetrics::zero();
 
         for minute in 0..minutes {
-            let mut fabric = Fabric::new(&ft, 100 + minute as u64);
-            let scenario = gen.sample(&ft, 1, &mut rng);
+            let mut fabric = Fabric::new(ft.as_ref(), 100 + minute as u64);
+            let scenario = gen.sample(ft.as_ref(), 1, &mut rng);
             fabric.apply_scenario(&scenario);
             // Two 30-second windows per minute; score the last diagnosis.
-            let _ = run.run_window(&fabric, &mut rng);
-            let w = run.run_window(&fabric, &mut rng);
-            let m = evaluate_diagnosis(&w.diagnosis.suspect_links(), &scenario.ground_truth(&ft));
+            let _ = run.step(&fabric, &mut rng);
+            let w = run.step(&fabric, &mut rng);
+            let m = evaluate_diagnosis(
+                &w.diagnosis.suspect_links(),
+                &scenario.ground_truth(ft.as_ref()),
+            );
             metrics.accumulate(&m);
         }
 
         // Workload RTT/jitter with probe traffic folded into utilization:
         // #pingers × freq × 850 B spread over the fabric.
-        let mut fabric = Fabric::new(&ft, 7);
+        let mut fabric = Fabric::new(ft.as_ref(), 7);
         let mut util = base_util.clone();
         let probe_bps = 16.0 * freq * 850.0 * 8.0;
         let per_link = probe_bps / ft.graph().num_links() as f64 / 1e9;

@@ -17,10 +17,11 @@ use detector_bench::{pct, Scale, Table};
 use detector_core::pll::{evaluate_diagnosis, LocalizationMetrics};
 use detector_core::pmc::PmcConfig;
 use detector_simnet::{Fabric, FailureGenerator};
-use detector_system::{MonitorRun, SystemConfig};
+use detector_system::{Detector, SystemConfig};
 use detector_topology::Fattree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Fraction of failures that clear before a post-alarm localization round
 /// can probe them (transient failures: bit errors, non-atomic rule
@@ -44,7 +45,7 @@ fn detector_points(
         let cfg = SystemConfig::default()
             .with_rate(rate)
             .with_pmc(PmcConfig::new(3, 1));
-        let mut run = MonitorRun::new(ft, cfg).expect("system must boot");
+        let mut run = Detector::new(Arc::new(ft.clone()), cfg).expect("system must boot");
         let mut rng = SmallRng::seed_from_u64(0x000F_1500 + (rate * 10.0) as u64);
         let mut metrics = LocalizationMetrics::zero();
         let mut probes = 0u64;
@@ -52,8 +53,8 @@ fn detector_points(
             let mut fabric = Fabric::new(ft, 500 + minute as u64);
             let scenario = gen.sample(ft, 1, &mut rng);
             fabric.apply_scenario(&scenario);
-            let w1 = run.run_window(&fabric, &mut rng);
-            let w2 = run.run_window(&fabric, &mut rng);
+            let w1 = run.step(&fabric, &mut rng);
+            let w2 = run.step(&fabric, &mut rng);
             probes += (w1.probes_sent + w2.probes_sent) * 2;
             let m = evaluate_diagnosis(&w2.diagnosis.suspect_links(), &scenario.ground_truth(ft));
             metrics.accumulate(&m);

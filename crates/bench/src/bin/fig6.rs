@@ -12,10 +12,11 @@ use detector_bench::{pct, Scale, Table};
 use detector_core::pll::{evaluate_diagnosis, LocalizationMetrics};
 use detector_core::pmc::PmcConfig;
 use detector_simnet::{Fabric, FailureGenerator};
-use detector_system::{MonitorRun, SystemConfig};
+use detector_system::{Detector, SystemConfig};
 use detector_topology::Fattree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 const BUDGET_PER_MIN: u64 = 5850;
 
@@ -65,15 +66,15 @@ fn main() {
 
     for &n in &failures {
         // deTector.
-        let mut run = MonitorRun::new(&ft, det_cfg.clone()).expect("boot");
+        let mut run = Detector::new(Arc::new(ft.clone()), det_cfg.clone()).expect("boot");
         let mut rng = SmallRng::seed_from_u64(0x000F_1660 + n as u64);
         let mut det = LocalizationMetrics::zero();
         for minute in 0..minutes {
             let mut fabric = Fabric::new(&ft, 1300 + minute as u64);
             let scenario = gen.sample(&ft, n, &mut rng);
             fabric.apply_scenario(&scenario);
-            let _ = run.run_window(&fabric, &mut rng);
-            let w = run.run_window(&fabric, &mut rng);
+            let _ = run.step(&fabric, &mut rng);
+            let w = run.step(&fabric, &mut rng);
             det.accumulate(&evaluate_diagnosis(
                 &w.diagnosis.suspect_links(),
                 &scenario.ground_truth(&ft),

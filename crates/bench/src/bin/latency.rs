@@ -11,10 +11,11 @@
 use detector_baselines::{netbouncer_localize, BaselineConfig, BaselineSystem};
 use detector_bench::{Scale, Table};
 use detector_simnet::{Fabric, FailureGenerator, FailureScenario};
-use detector_system::{MonitorRun, SystemConfig};
+use detector_system::{Detector, SystemConfig};
 use detector_topology::Fattree;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 const WINDOW_S: u64 = 30;
 
@@ -42,9 +43,9 @@ fn main() {
 
         // deTector: windows run back to back; the diagnosis at the end of
         // window w is available at (w+1)·30 s after injection.
-        let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+        let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).unwrap();
         for w in 0..4u64 {
-            let res = run.run_window(&fabric, &mut rng);
+            let res = run.step(&fabric, &mut rng);
             let found = truth
                 .iter()
                 .any(|t| res.diagnosis.suspect_links().contains(t));

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use detector_bench::{pct, probe_matrix_window, Scale, Table};
 use detector_core::pll::{
-    evaluate_diagnosis, localize, localize_omp, localize_score, localize_tomo, LocalizationMetrics,
-    OmpConfig,
+    evaluate_diagnosis, LocalizationMetrics, Localizer, OmpConfig, OmpLocalizer, PllLocalizer,
+    ScoreLocalizer, TomoLocalizer,
 };
 use detector_core::pmc::PmcConfig;
 use detector_simnet::{Fabric, FailureGenerator};
@@ -32,6 +32,16 @@ fn main() {
     let gen = FailureGenerator::links_only().with_min_rate(0.05);
     let pll_cfg = detector_bench::bench_pll();
     let omp_cfg = OmpConfig::default();
+    // Every algorithm behind the same polymorphic interface.
+    let localizers: Vec<Box<dyn Localizer>> = vec![
+        Box::new(PllLocalizer::new(pll_cfg)),
+        Box::new(TomoLocalizer { cfg: pll_cfg }),
+        Box::new(ScoreLocalizer { cfg: pll_cfg }),
+        Box::new(OmpLocalizer {
+            pll: pll_cfg,
+            omp: omp_cfg,
+        }),
+    ];
 
     println!(
         "PLL vs baselines: Fattree({radix}), (1,2) matrix with {} paths, {} failures, {} episodes\n",
@@ -56,28 +66,15 @@ fn main() {
         let obs = probe_matrix_window(&ft, &matrix, &fabric, 30, &mut rng);
         let truth = scenario.ground_truth(&ft);
 
-        let t = Instant::now();
-        let d = localize(&matrix, &obs, &pll_cfg);
-        time_us[0] += t.elapsed().as_micros();
-        acc[0].accumulate(&evaluate_diagnosis(&d.suspect_links(), &truth));
-
-        let t = Instant::now();
-        let d = localize_tomo(&matrix, &obs, &pll_cfg);
-        time_us[1] += t.elapsed().as_micros();
-        acc[1].accumulate(&evaluate_diagnosis(&d.suspect_links(), &truth));
-
-        let t = Instant::now();
-        let d = localize_score(&matrix, &obs, &pll_cfg);
-        time_us[2] += t.elapsed().as_micros();
-        acc[2].accumulate(&evaluate_diagnosis(&d.suspect_links(), &truth));
-
-        let t = Instant::now();
-        let d = localize_omp(&matrix, &obs, &pll_cfg, &omp_cfg);
-        time_us[3] += t.elapsed().as_micros();
-        acc[3].accumulate(&evaluate_diagnosis(&d.suspect_links(), &truth));
+        for (i, l) in localizers.iter().enumerate() {
+            let t = Instant::now();
+            let d = l.localize(&matrix, &obs);
+            time_us[i] += t.elapsed().as_micros();
+            acc[i].accumulate(&evaluate_diagnosis(&d.suspect_links(), &truth));
+        }
     }
 
-    let names = ["PLL", "Tomo", "SCORE", "OMP"];
+    let names: Vec<&str> = localizers.iter().map(|l| l.name()).collect();
     let mut table = Table::new(vec![
         "algorithm",
         "accuracy %",

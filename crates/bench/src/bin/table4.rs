@@ -29,7 +29,7 @@ fn main() {
 
     let ft = Fattree::new(radix).unwrap();
     let gen = FailureGenerator::links_only().with_min_rate(0.05);
-    let pll = detector_bench::bench_pll();
+    let pll = detector_bench::bench_localizer();
 
     println!(
         "Table 4: localization accuracy (%) in Fattree({radix}), {} episodes per cell",

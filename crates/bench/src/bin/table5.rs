@@ -35,7 +35,7 @@ fn main() {
     );
 
     let gen = FailureGenerator::links_only().with_min_rate(0.05);
-    let pll = detector_bench::bench_pll();
+    let pll = detector_bench::bench_localizer();
 
     let mut table = Table::new(vec![
         "# failed links",

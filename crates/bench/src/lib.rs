@@ -23,7 +23,9 @@
 //! keep a full sweep under a few minutes; `paper` uses the paper's sizes
 //! where they are feasible on one machine.
 
-use detector_core::pll::{evaluate_diagnosis, localize, LocalizationMetrics, PllConfig};
+use detector_core::pll::{
+    evaluate_diagnosis, LocalizationMetrics, Localizer, PllConfig, PllLocalizer,
+};
 use detector_core::pmc::ProbeMatrix;
 use detector_core::types::PathObservation;
 use detector_simnet::{Fabric, FailureGenerator, FailureScenario, FlowKey};
@@ -61,6 +63,12 @@ pub fn bench_pll() -> PllConfig {
         min_loss_count: 2,
         ..PllConfig::default()
     }
+}
+
+/// The PLL localizer the campaigns use, as a trait object-compatible
+/// value (see [`bench_pll`] for the configuration rationale).
+pub fn bench_localizer() -> PllLocalizer {
+    PllLocalizer::new(bench_pll())
 }
 
 /// Simulates one observation window directly over the probe matrix:
@@ -105,14 +113,14 @@ pub fn probe_matrix_window(
     out
 }
 
-/// One accuracy episode: inject `scenario`, probe the matrix, localize,
-/// compare against ground truth.
+/// One accuracy episode: inject `scenario`, probe the matrix, localize
+/// through the given [`Localizer`], compare against ground truth.
 pub fn episode_metrics(
     topo: &dyn DcnTopology,
     matrix: &ProbeMatrix,
     scenario: &FailureScenario,
     probes_per_path: u32,
-    pll: &PllConfig,
+    localizer: &dyn Localizer,
     noise_seed: Option<u64>,
     rng: &mut SmallRng,
 ) -> LocalizationMetrics {
@@ -122,12 +130,14 @@ pub fn episode_metrics(
     };
     fabric.apply_scenario(scenario);
     let obs = probe_matrix_window(topo, matrix, &fabric, probes_per_path, rng);
-    let diagnosis = localize(matrix, &obs, pll);
+    let diagnosis = localizer.localize(matrix, &obs);
     evaluate_diagnosis(&diagnosis.suspect_links(), &scenario.ground_truth(topo))
 }
 
 /// Runs an accuracy campaign: `episodes` random scenarios with
-/// `n_failures` simultaneous failures each, micro-averaged.
+/// `n_failures` simultaneous failures each, micro-averaged. Any
+/// [`Localizer`] — PLL, a tomography baseline, or a baseline inference —
+/// slots in through the same trait object.
 #[allow(clippy::too_many_arguments)]
 pub fn accuracy_campaign(
     topo: &dyn DcnTopology,
@@ -136,7 +146,7 @@ pub fn accuracy_campaign(
     n_failures: usize,
     episodes: usize,
     probes_per_path: u32,
-    pll: &PllConfig,
+    localizer: &dyn Localizer,
     seed: u64,
 ) -> LocalizationMetrics {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -148,7 +158,7 @@ pub fn accuracy_campaign(
             matrix,
             &scenario,
             probes_per_path,
-            pll,
+            localizer,
             Some(seed ^ (e as u64) << 17),
             &mut rng,
         );
@@ -257,7 +267,7 @@ mod tests {
             &matrix,
             &scenario,
             10,
-            &PllConfig::default(),
+            &PllLocalizer::default(),
             None,
             &mut rng,
         );
@@ -274,7 +284,7 @@ mod tests {
         )
         .unwrap();
         let gen = FailureGenerator::links_only().with_min_rate(0.05);
-        let m = accuracy_campaign(&ft, &matrix, &gen, 1, 5, 10, &PllConfig::default(), 42);
+        let m = accuracy_campaign(&ft, &matrix, &gen, 1, 5, 10, &PllLocalizer::default(), 42);
         assert!(m.true_positives + m.false_negatives == 5);
         assert!(m.accuracy > 0.5, "metrics: {m:?}");
     }

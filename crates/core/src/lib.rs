@@ -43,10 +43,11 @@
 //! assert_eq!(diagnosis.suspect_links(), vec![LinkId(0)]);
 //! ```
 
+pub mod json;
 pub mod pll;
 pub mod pmc;
 pub mod types;
 
-pub use pll::{localize, Diagnosis, PllConfig};
+pub use pll::{localize, Diagnosis, Localizer, PllConfig, PllLocalizer};
 pub use pmc::{construct, PmcConfig, ProbeMatrix};
 pub use types::{LinkId, NodeId, PathId, PathObservation, ProbePath};

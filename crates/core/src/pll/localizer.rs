@@ -1,0 +1,177 @@
+//! The unified localization interface.
+//!
+//! Every localization algorithm in this reproduction — PLL (§5.3) and the
+//! Tomo / SCORE / OMP baselines, plus the Netbouncer and fbtracert
+//! inference stages in `detector-baselines` — answers the same question:
+//! *given a probe matrix and one window of end-to-end loss observations,
+//! which links are faulty?* The [`Localizer`] trait captures exactly that
+//! shape, so comparison harnesses drive every system through one
+//! polymorphic call instead of bespoke per-algorithm glue.
+
+use super::{
+    localize, localize_omp, localize_score, localize_tomo, Diagnosis, OmpConfig, PllConfig,
+};
+use crate::pmc::ProbeMatrix;
+use crate::types::PathObservation;
+
+/// A packet-loss localization algorithm.
+///
+/// Implementors are cheap, immutable configuration holders; `localize` is
+/// pure, so one instance can serve any number of windows (and threads,
+/// given the `Send + Sync` supertraits).
+pub trait Localizer: Send + Sync {
+    /// Short human-readable algorithm name (for bench tables and logs).
+    fn name(&self) -> &str;
+
+    /// Blames a set of links for the losses in `observations`.
+    fn localize(&self, matrix: &ProbeMatrix, observations: &[PathObservation]) -> Diagnosis;
+}
+
+/// PLL (§5.3): hit-ratio filtered greedy cover — the paper's algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PllLocalizer {
+    /// PLL settings (threshold τ, noise filters).
+    pub cfg: PllConfig,
+}
+
+impl PllLocalizer {
+    /// A PLL localizer with the given configuration.
+    pub fn new(cfg: PllConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Localizer for PllLocalizer {
+    fn name(&self) -> &str {
+        "PLL"
+    }
+
+    fn localize(&self, matrix: &ProbeMatrix, observations: &[PathObservation]) -> Diagnosis {
+        localize(matrix, observations, &self.cfg)
+    }
+}
+
+/// Classic boolean network tomography (greedy set cover, no hit-ratio
+/// exoneration).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TomoLocalizer {
+    /// Pre-processing settings (the greedy itself ignores the hit ratio).
+    pub cfg: PllConfig,
+}
+
+impl Localizer for TomoLocalizer {
+    fn name(&self) -> &str {
+        "Tomo"
+    }
+
+    fn localize(&self, matrix: &ProbeMatrix, observations: &[PathObservation]) -> Diagnosis {
+        localize_tomo(matrix, observations, &self.cfg)
+    }
+}
+
+/// SCORE-style maximum-coverage heuristic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScoreLocalizer {
+    /// Pre-processing settings.
+    pub cfg: PllConfig,
+}
+
+impl Localizer for ScoreLocalizer {
+    fn name(&self) -> &str {
+        "SCORE"
+    }
+
+    fn localize(&self, matrix: &ProbeMatrix, observations: &[PathObservation]) -> Diagnosis {
+        localize_score(matrix, observations, &self.cfg)
+    }
+}
+
+/// Orthogonal matching pursuit over the loss-rate system.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OmpLocalizer {
+    /// Pre-processing settings.
+    pub pll: PllConfig,
+    /// OMP-specific settings (residual threshold, max iterations).
+    pub omp: OmpConfig,
+}
+
+impl Localizer for OmpLocalizer {
+    fn name(&self) -> &str {
+        "OMP"
+    }
+
+    fn localize(&self, matrix: &ProbeMatrix, observations: &[PathObservation]) -> Diagnosis {
+        localize_omp(matrix, observations, &self.pll, &self.omp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LinkId, ProbePath};
+
+    fn fixture() -> (ProbeMatrix, Vec<PathObservation>) {
+        // Link 0 fully lossy; link 1 clean.
+        let matrix = ProbeMatrix::from_paths(
+            2,
+            vec![
+                ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+                ProbePath::from_links(1, vec![LinkId(0)]),
+                ProbePath::from_links(2, vec![LinkId(1)]),
+            ],
+        );
+        let obs = vec![
+            PathObservation::new(crate::types::PathId(0), 100, 100),
+            PathObservation::new(crate::types::PathId(1), 100, 100),
+            PathObservation::new(crate::types::PathId(2), 100, 0),
+        ];
+        (matrix, obs)
+    }
+
+    #[test]
+    fn every_builtin_localizer_agrees_with_its_free_function() {
+        let (matrix, obs) = fixture();
+        let pll_cfg = PllConfig::default();
+        let omp_cfg = OmpConfig::default();
+
+        let direct: Vec<Diagnosis> = vec![
+            localize(&matrix, &obs, &pll_cfg),
+            localize_tomo(&matrix, &obs, &pll_cfg),
+            localize_score(&matrix, &obs, &pll_cfg),
+            localize_omp(&matrix, &obs, &pll_cfg, &omp_cfg),
+        ];
+        let localizers: Vec<Box<dyn Localizer>> = vec![
+            Box::new(PllLocalizer::default()),
+            Box::new(TomoLocalizer::default()),
+            Box::new(ScoreLocalizer::default()),
+            Box::new(OmpLocalizer::default()),
+        ];
+        for (l, d) in localizers.iter().zip(&direct) {
+            let via_trait = l.localize(&matrix, &obs);
+            assert_eq!(
+                via_trait.suspect_links(),
+                d.suspect_links(),
+                "{} trait-object dispatch must match the direct call",
+                l.name()
+            );
+            assert_eq!(
+                via_trait.unexplained_paths,
+                d.unexplained_paths,
+                "{}",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            PllLocalizer::default().name().to_string(),
+            TomoLocalizer::default().name().to_string(),
+            ScoreLocalizer::default().name().to_string(),
+            OmpLocalizer::default().name().to_string(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -3,10 +3,13 @@
 
 use std::collections::HashSet;
 
+use serde::{Deserialize, Serialize};
+
+use crate::json::{Json, ToJson};
 use crate::types::LinkId;
 
 /// Outcome of comparing a diagnosis against ground truth.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LocalizationMetrics {
     /// Truly bad links correctly blamed.
     pub true_positives: usize,
@@ -98,6 +101,37 @@ impl LocalizationMetrics {
             false_positive_ratio: 0.0,
             false_negative_ratio: 0.0,
         }
+    }
+
+    /// Rebuilds metrics from their [`ToJson`] representation.
+    pub fn from_json(v: &Json) -> Option<LocalizationMetrics> {
+        Some(LocalizationMetrics {
+            true_positives: v.get("true_positives")?.as_usize()?,
+            false_positives: v.get("false_positives")?.as_usize()?,
+            false_negatives: v.get("false_negatives")?.as_usize()?,
+            accuracy: v.get("accuracy")?.as_f64()?,
+            false_positive_ratio: v.get("false_positive_ratio")?.as_f64()?,
+            false_negative_ratio: v.get("false_negative_ratio")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for LocalizationMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("true_positives", Json::uint(self.true_positives as u64)),
+            ("false_positives", Json::uint(self.false_positives as u64)),
+            ("false_negatives", Json::uint(self.false_negatives as u64)),
+            ("accuracy", Json::Float(self.accuracy)),
+            (
+                "false_positive_ratio",
+                Json::Float(self.false_positive_ratio),
+            ),
+            (
+                "false_negative_ratio",
+                Json::Float(self.false_negative_ratio),
+            ),
+        ])
     }
 }
 

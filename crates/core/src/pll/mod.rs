@@ -11,6 +11,7 @@
 //! the greedy cover, which classic tomography (Tomo) lacks.
 
 mod classify;
+mod localizer;
 mod metrics;
 mod omp;
 mod pll_impl;
@@ -20,6 +21,7 @@ mod score_alg;
 mod tomo;
 
 pub use classify::{classify_loss, ClassifyConfig, FlowSample, LossClassification, LossType};
+pub use localizer::{Localizer, OmpLocalizer, PllLocalizer, ScoreLocalizer, TomoLocalizer};
 pub use metrics::{evaluate_diagnosis, LocalizationMetrics};
 pub use omp::{localize_omp, OmpConfig};
 pub use pll_impl::{localize, Diagnosis, SuspectLink};

@@ -2,13 +2,16 @@
 
 use std::collections::HashSet;
 
+use serde::{Deserialize, Serialize};
+
 use super::rate::estimate_rate;
 use super::{preprocess, PllConfig};
+use crate::json::{Json, ToJson};
 use crate::pmc::ProbeMatrix;
 use crate::types::{LinkId, PathId, PathObservation};
 
 /// A link blamed by a localization algorithm.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SuspectLink {
     /// The blamed physical link.
     pub link: LinkId,
@@ -25,7 +28,7 @@ pub struct SuspectLink {
 }
 
 /// Result of a localization run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Diagnosis {
     /// Blamed links in selection order (first = strongest explanation).
     pub suspects: Vec<SuspectLink>,
@@ -45,6 +48,71 @@ impl Diagnosis {
     /// True if nothing was blamed and nothing was left unexplained.
     pub fn is_clean(&self) -> bool {
         self.suspects.is_empty() && self.unexplained_paths.is_empty()
+    }
+
+    /// Rebuilds a diagnosis from its [`ToJson`] representation.
+    pub fn from_json(v: &Json) -> Option<Diagnosis> {
+        let suspects = v
+            .get("suspects")?
+            .as_array()?
+            .iter()
+            .map(SuspectLink::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        let unexplained_paths = v
+            .get("unexplained_paths")?
+            .as_array()?
+            .iter()
+            .map(|p| p.as_u32().map(PathId))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Diagnosis {
+            suspects,
+            unexplained_paths,
+        })
+    }
+}
+
+impl ToJson for Diagnosis {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "suspects",
+                Json::Array(self.suspects.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "unexplained_paths",
+                Json::Array(
+                    self.unexplained_paths
+                        .iter()
+                        .map(|p| Json::uint(p.0 as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl SuspectLink {
+    /// Rebuilds a suspect from its [`ToJson`] representation.
+    pub fn from_json(v: &Json) -> Option<SuspectLink> {
+        Some(SuspectLink {
+            link: LinkId(v.get("link")?.as_u32()?),
+            estimated_loss_rate: v.get("estimated_loss_rate")?.as_f64()?,
+            hit_ratio: v.get("hit_ratio")?.as_f64()?,
+            explained_paths: v.get("explained_paths")?.as_u32()?,
+            explained_losses: v.get("explained_losses")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for SuspectLink {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("link", Json::uint(self.link.0 as u64)),
+            ("estimated_loss_rate", Json::Float(self.estimated_loss_rate)),
+            ("hit_ratio", Json::Float(self.hit_ratio)),
+            ("explained_paths", Json::uint(self.explained_paths as u64)),
+            ("explained_losses", Json::uint(self.explained_losses)),
+        ])
     }
 }
 

@@ -7,7 +7,7 @@ use detector_core::types::{LinkId, NodeId};
 use detector_topology::{construct_symmetric, DcnTopology};
 
 use crate::pinglist::{PingEntry, Pinglist};
-use crate::SystemConfig;
+use crate::{SharedTopology, SystemConfig};
 
 /// Everything the controller dispatches for one cycle.
 #[derive(Clone, Debug)]
@@ -29,8 +29,8 @@ impl Deployment {
 }
 
 /// The logical controller.
-pub struct Controller<'a> {
-    topo: &'a dyn DcnTopology,
+pub struct Controller {
+    topo: SharedTopology,
     cfg: SystemConfig,
     version: u64,
     /// Below this many original paths the controller materializes the full
@@ -43,9 +43,9 @@ pub struct Controller<'a> {
     excluded_links: HashSet<LinkId>,
 }
 
-impl<'a> Controller<'a> {
+impl Controller {
     /// A controller for `topo` with the given system configuration.
-    pub fn new(topo: &'a dyn DcnTopology, cfg: SystemConfig) -> Self {
+    pub fn new(topo: SharedTopology, cfg: SystemConfig) -> Self {
         Self {
             topo,
             cfg,
@@ -53,6 +53,11 @@ impl<'a> Controller<'a> {
             exhaustive_limit: 300_000,
             excluded_links: HashSet::new(),
         }
+    }
+
+    /// The monitored topology.
+    pub fn topology(&self) -> &dyn DcnTopology {
+        self.topo.as_ref()
     }
 
     /// Reports links as failed: the next deployment avoids scheduling any
@@ -108,7 +113,7 @@ impl<'a> Controller<'a> {
         } else {
             // Symmetric: construct on the pristine topology, then strip
             // paths that would cross failed links.
-            Ok(self.strip_excluded(construct_symmetric(self.topo, &self.cfg.pmc)?))
+            Ok(self.strip_excluded(construct_symmetric(self.topo.as_ref(), &self.cfg.pmc)?))
         }
     }
 
@@ -251,14 +256,11 @@ impl<'a> Controller<'a> {
 mod tests {
     use super::*;
     use detector_topology::Fattree;
+    use std::sync::Arc;
 
-    fn deployment(k: u32) -> (Fattree, Deployment) {
-        let ft = Fattree::new(k).unwrap();
-        let mut ctl = Controller::new(
-            // SAFETY-free lifetime juggling: leak for test simplicity.
-            Box::leak(Box::new(ft.clone())),
-            SystemConfig::default(),
-        );
+    fn deployment(k: u32) -> (Arc<Fattree>, Deployment) {
+        let ft = Arc::new(Fattree::new(k).unwrap());
+        let mut ctl = Controller::new(ft.clone(), SystemConfig::default());
         let d = ctl.build_deployment(&HashSet::new()).unwrap();
         (ft, d)
     }
@@ -306,13 +308,12 @@ mod tests {
 
     #[test]
     fn unhealthy_servers_are_not_pingers() {
-        let ft = Fattree::new(4).unwrap();
-        let leaked: &'static Fattree = Box::leak(Box::new(ft));
-        let mut ctl = Controller::new(leaked, SystemConfig::default());
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut ctl = Controller::new(ft.clone(), SystemConfig::default());
         let mut bad = HashSet::new();
         // All servers of pod 0, rack 0 are sick.
-        bad.insert(leaked.server(0, 0, 0));
-        bad.insert(leaked.server(0, 0, 1));
+        bad.insert(ft.server(0, 0, 0));
+        bad.insert(ft.server(0, 0, 1));
         let d = ctl.build_deployment(&bad).unwrap();
         for l in &d.pinglists {
             assert!(!bad.contains(&l.pinger));
@@ -321,9 +322,8 @@ mod tests {
 
     #[test]
     fn version_increments_per_cycle() {
-        let ft = Fattree::new(4).unwrap();
-        let leaked: &'static Fattree = Box::leak(Box::new(ft));
-        let mut ctl = Controller::new(leaked, SystemConfig::default());
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut ctl = Controller::new(ft, SystemConfig::default());
         let d1 = ctl.build_deployment(&HashSet::new()).unwrap();
         let d2 = ctl.build_deployment(&HashSet::new()).unwrap();
         assert_eq!(d1.version + 1, d2.version);
@@ -331,10 +331,9 @@ mod tests {
 
     #[test]
     fn excluded_links_are_never_probed() {
-        let ft = Fattree::new(4).unwrap();
-        let leaked: &'static Fattree = Box::leak(Box::new(ft));
-        let mut ctl = Controller::new(leaked, SystemConfig::default());
-        let dead = leaked.ac_link(0, 0, 0);
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut ctl = Controller::new(ft.clone(), SystemConfig::default());
+        let dead = ft.ac_link(0, 0, 0);
         ctl.exclude_links([dead]);
         let d = ctl.build_deployment(&HashSet::new()).unwrap();
         for p in &d.matrix.paths {
@@ -344,7 +343,7 @@ mod tests {
         // monitored.
         assert!(d.matrix.uncoverable.contains(&dead));
         assert!(d.matrix.num_paths() > 0);
-        let healthy = leaked.ac_link(1, 0, 0);
+        let healthy = ft.ac_link(1, 0, 0);
         assert!(d.matrix.paths.iter().any(|p| p.covers(healthy)));
     }
 

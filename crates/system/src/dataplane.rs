@@ -1,0 +1,82 @@
+//! The data-plane seam: how probes reach the network.
+//!
+//! The runtime (§3.2) does not care *how* a source-routed probe is
+//! transmitted — only whether its echo came back and how long it took.
+//! [`DataPlane`] captures exactly that contract, so the same
+//! controller/pinger/diagnoser pipeline runs against the deterministic
+//! `detector-simnet` fabric today and a raw-socket backend (or a replay
+//! of captured reports) tomorrow, without the runtime depending on a
+//! concrete simulator.
+//!
+//! Deliberately, a [`ProbeOutcome`] carries **no** drop location: a real
+//! network never tells the pinger where a packet died — that is the
+//! diagnoser's job to infer. Keeping ground truth out of the interface
+//! means nothing in the runtime can accidentally cheat.
+
+use detector_simnet::{Fabric, FlowKey};
+use detector_topology::Route;
+use rand::rngs::SmallRng;
+
+/// What the pinger observes for one request/response probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeOutcome {
+    /// Did the echo arrive?
+    pub delivered: bool,
+    /// Round-trip time in microseconds (meaningless unless `delivered`).
+    pub rtt_us: f64,
+}
+
+/// Abstract probe transmission: the boundary between the deTector
+/// runtime and the network (simulated or real).
+pub trait DataPlane {
+    /// Sends one source-routed probe along `route` and waits for the
+    /// echo over the reversed route (§3.2's request/response exchange).
+    fn probe(&self, route: &Route, flow: FlowKey, rng: &mut SmallRng) -> ProbeOutcome;
+
+    /// Hook invoked when the runtime opens a reporting window. Real
+    /// backends use this to rotate capture buffers; the simulator
+    /// ignores it.
+    fn window_started(&self, _window: u64, _start_s: u64) {}
+
+    /// Hook invoked after the runtime closes a reporting window.
+    fn window_finished(&self, _window: u64, _end_s: u64) {}
+}
+
+/// The simulated fabric is the first (and reference) data plane.
+impl DataPlane for Fabric<'_> {
+    fn probe(&self, route: &Route, flow: FlowKey, rng: &mut SmallRng) -> ProbeOutcome {
+        let rt = self.round_trip(route, flow, rng);
+        ProbeOutcome {
+            delivered: rt.success,
+            rtt_us: rt.rtt_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_simnet::LossDiscipline;
+    use detector_topology::{DcnTopology, Fattree};
+    use rand::SeedableRng;
+
+    #[test]
+    fn fabric_probe_reports_delivery_without_ground_truth() {
+        let ft = Fattree::new(4).unwrap();
+        let mut fabric = Fabric::quiet(&ft);
+        let bad = ft.ea_link(0, 0, 0);
+        fabric.set_discipline_both(bad, LossDiscipline::Full);
+        let route = ft.ecmp_route(ft.server(0, 0, 0), ft.server(1, 0, 0), 0);
+        assert!(route.links.contains(&bad));
+        let mut rng = SmallRng::seed_from_u64(1);
+
+        let dp: &dyn DataPlane = &fabric;
+        let out = dp.probe(&route, FlowKey::udp(0, 4, 33_000, 53_533), &mut rng);
+        assert!(!out.delivered);
+
+        let clean = ft.ecmp_route(ft.server(2, 0, 0), ft.server(3, 0, 0), 0);
+        let out = dp.probe(&clean, FlowKey::udp(8, 12, 33_000, 53_533), &mut rng);
+        assert!(out.delivered);
+        assert!(out.rtt_us > 0.0);
+    }
+}

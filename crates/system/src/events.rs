@@ -1,0 +1,294 @@
+//! The runtime's event stream: typed window-lifecycle events and the
+//! pluggable sinks that consume them.
+//!
+//! Every [`Detector::step`](crate::Detector::step) emits a totally
+//! ordered sequence of [`RuntimeEvent`]s — `WindowStarted` first,
+//! `DiagnosisReady` last, with cycle refreshes, per-pinger report
+//! ingestions and health exclusions in between. Sinks registered on the
+//! builder observe every event; this is the seam where the ROADMAP's
+//! async/overlapping-window scheduler (and external report consumers,
+//! like the paper's HTTP POST receivers in §6.1) plug in.
+
+use std::sync::{Arc, Mutex};
+
+use detector_core::json::{Json, ToJson};
+use detector_core::pll::Diagnosis;
+use detector_core::types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one 30-second window — the payload of
+/// [`RuntimeEvent::DiagnosisReady`] and the return value of
+/// [`Detector::step`](crate::Detector::step).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowResult {
+    /// Window index.
+    pub window: u64,
+    /// Simulated start time of the window, seconds.
+    pub start_s: u64,
+    /// Probes sent across all pingers this window (detection probes,
+    /// including loss confirmations).
+    pub probes_sent: u64,
+    /// Number of aggregated path observations.
+    pub num_observations: usize,
+    /// The PLL diagnosis for the window.
+    pub diagnosis: Diagnosis,
+}
+
+impl WindowResult {
+    /// Rebuilds a window result from its [`ToJson`] representation.
+    pub fn from_json(v: &Json) -> Option<WindowResult> {
+        Some(WindowResult {
+            window: v.get("window")?.as_u64()?,
+            start_s: v.get("start_s")?.as_u64()?,
+            probes_sent: v.get("probes_sent")?.as_u64()?,
+            num_observations: v.get("num_observations")?.as_usize()?,
+            diagnosis: Diagnosis::from_json(v.get("diagnosis")?)?,
+        })
+    }
+}
+
+impl ToJson for WindowResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("window", Json::uint(self.window)),
+            ("start_s", Json::uint(self.start_s)),
+            ("probes_sent", Json::uint(self.probes_sent)),
+            ("num_observations", Json::uint(self.num_observations as u64)),
+            ("diagnosis", self.diagnosis.to_json()),
+        ])
+    }
+}
+
+/// One typed event in a window's lifecycle, in emission order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RuntimeEvent {
+    /// A reporting window opened.
+    WindowStarted {
+        /// Window index.
+        window: u64,
+        /// Simulated start time, seconds.
+        start_s: u64,
+    },
+    /// The controller recomputed the probe matrix and pinglists (§6.1's
+    /// 10-minute cycle). Fires exactly on cycle boundaries.
+    CycleRefreshed {
+        /// Window in which the refresh happened.
+        window: u64,
+        /// New deployment version.
+        version: u64,
+        /// Paths in the refreshed probe matrix.
+        num_paths: usize,
+    },
+    /// A pinger was excluded from this window by the watchdog.
+    PingerUnhealthy {
+        /// Window index.
+        window: u64,
+        /// The excluded pinger server.
+        pinger: NodeId,
+    },
+    /// One pinger's window report was ingested by the diagnoser (the
+    /// HTTP POST of §6.1).
+    ReportIngested {
+        /// Window index.
+        window: u64,
+        /// Reporting pinger.
+        pinger: NodeId,
+        /// Probes this pinger sent (including loss confirmations).
+        probes_sent: u64,
+        /// Matrix paths the report carries counters for.
+        num_paths: usize,
+    },
+    /// The diagnoser ran PLL over the window's aggregated observations.
+    /// Always the last event of a window.
+    DiagnosisReady(WindowResult),
+}
+
+impl ToJson for RuntimeEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            RuntimeEvent::WindowStarted { window, start_s } => Json::obj(vec![
+                ("event", Json::Str("window_started".into())),
+                ("window", Json::uint(*window)),
+                ("start_s", Json::uint(*start_s)),
+            ]),
+            RuntimeEvent::CycleRefreshed {
+                window,
+                version,
+                num_paths,
+            } => Json::obj(vec![
+                ("event", Json::Str("cycle_refreshed".into())),
+                ("window", Json::uint(*window)),
+                ("version", Json::uint(*version)),
+                ("num_paths", Json::uint(*num_paths as u64)),
+            ]),
+            RuntimeEvent::PingerUnhealthy { window, pinger } => Json::obj(vec![
+                ("event", Json::Str("pinger_unhealthy".into())),
+                ("window", Json::uint(*window)),
+                ("pinger", Json::uint(pinger.0 as u64)),
+            ]),
+            RuntimeEvent::ReportIngested {
+                window,
+                pinger,
+                probes_sent,
+                num_paths,
+            } => Json::obj(vec![
+                ("event", Json::Str("report_ingested".into())),
+                ("window", Json::uint(*window)),
+                ("pinger", Json::uint(pinger.0 as u64)),
+                ("probes_sent", Json::uint(*probes_sent)),
+                ("num_paths", Json::uint(*num_paths as u64)),
+            ]),
+            RuntimeEvent::DiagnosisReady(result) => {
+                let mut fields = vec![("event".to_string(), Json::Str("diagnosis_ready".into()))];
+                if let Json::Object(inner) = result.to_json() {
+                    fields.extend(inner);
+                }
+                Json::Object(fields)
+            }
+        }
+    }
+}
+
+/// A consumer of the runtime's event stream.
+///
+/// Sinks are registered on [`DetectorBuilder::sink`](crate::DetectorBuilder::sink)
+/// and invoked synchronously, in registration order, for every event.
+pub trait EventSink {
+    /// Observes one event. Events arrive in emission order.
+    fn on_event(&mut self, event: &RuntimeEvent);
+}
+
+/// An [`EventSink`] that records every event into a shared buffer.
+///
+/// Cloning the sink before handing it to the builder keeps a handle to
+/// the buffer, so a test (or operator tooling) can inspect the stream
+/// while the detector owns the registered copy.
+#[derive(Clone, Debug, Default)]
+pub struct CollectingSink {
+    events: Arc<Mutex<Vec<RuntimeEvent>>>,
+}
+
+impl CollectingSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<RuntimeEvent> {
+        self.events.lock().expect("collector poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collector poisoned").len()
+    }
+
+    /// True when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for CollectingSink {
+    fn on_event(&mut self, event: &RuntimeEvent) {
+        self.events
+            .lock()
+            .expect("collector poisoned")
+            .push(event.clone());
+    }
+}
+
+/// An [`EventSink`] that writes one JSON record per completed window.
+///
+/// Each [`RuntimeEvent::DiagnosisReady`] renders as a single
+/// `{"event":"diagnosis_ready",...}` line — the machine-readable feed
+/// the bench binaries and external dashboards consume. Intermediate
+/// events are not written; use [`CollectingSink`] for full traces.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: std::io::Write> {
+    out: W,
+}
+
+impl<W: std::io::Write> JsonLinesSink<W> {
+    /// A sink writing JSON lines to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl JsonLinesSink<std::io::Stdout> {
+    /// A sink writing JSON lines to stdout.
+    pub fn stdout() -> Self {
+        Self::new(std::io::stdout())
+    }
+}
+
+impl<W: std::io::Write> EventSink for JsonLinesSink<W> {
+    fn on_event(&mut self, event: &RuntimeEvent) {
+        if let RuntimeEvent::DiagnosisReady(_) = event {
+            // A failed write cannot be surfaced from a sink; dropping the
+            // record (like a full pipe would) beats poisoning the run.
+            let _ = writeln!(self.out, "{}", event.to_json());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> WindowResult {
+        WindowResult {
+            window: 4,
+            start_s: 120,
+            probes_sent: 960,
+            num_observations: 28,
+            diagnosis: Diagnosis::default(),
+        }
+    }
+
+    #[test]
+    fn window_result_round_trips_through_json() {
+        let w = sample_result();
+        let text = w.to_json().to_string();
+        let parsed = WindowResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn collecting_sink_shares_its_buffer_across_clones() {
+        let collector = CollectingSink::new();
+        let mut registered = collector.clone();
+        registered.on_event(&RuntimeEvent::WindowStarted {
+            window: 0,
+            start_s: 0,
+        });
+        assert_eq!(collector.len(), 1);
+        assert!(!collector.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_only_diagnosis_records() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.on_event(&RuntimeEvent::WindowStarted {
+            window: 0,
+            start_s: 0,
+        });
+        sink.on_event(&RuntimeEvent::DiagnosisReady(sample_result()));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let v = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            v.get("event").and_then(Json::as_str),
+            Some("diagnosis_ready")
+        );
+        assert_eq!(v.get("window").and_then(Json::as_u64), Some(4));
+    }
+}

@@ -6,54 +6,90 @@
 //! reports, stateless **responders**, a **watchdog** tracking server
 //! health, and a **diagnoser** running PLL on each report window.
 //!
-//! The runtime is driven by a simulated clock against the
-//! `detector-simnet` fabric, so whole monitoring campaigns (hours of
-//! simulated probing with failure injection) run deterministically in
-//! milliseconds.
+//! The public entry point is the owned [`Detector`] handle: build it from
+//! an `Arc<dyn DcnTopology>` (validated configuration, typed
+//! [`ConfigError`]s at build time), then drive it window by window with
+//! [`Detector::step`] against any [`DataPlane`] — the simulated
+//! `detector-simnet` fabric is the reference implementation, so whole
+//! monitoring campaigns (hours of simulated probing with failure
+//! injection) run deterministically in milliseconds. Each step emits
+//! typed [`RuntimeEvent`]s to the registered [`EventSink`]s — the seam
+//! for async schedulers, JSON-lines exports and report consumers.
 //!
 //! # Examples
 //!
 //! ```
+//! use std::sync::Arc;
 //! use detector_simnet::{Fabric, LossDiscipline};
-//! use detector_system::{MonitorRun, SystemConfig};
+//! use detector_system::{Detector, SystemConfig};
 //! use detector_topology::{DcnTopology, Fattree};
 //! use rand::SeedableRng;
 //!
-//! let ft = Fattree::new(4).unwrap();
-//! let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
-//! let mut fabric = Fabric::quiet(&ft);
+//! let ft = Arc::new(Fattree::new(4).unwrap());
+//! let mut run = Detector::builder(ft.clone())
+//!     .config(SystemConfig::default())
+//!     .build()
+//!     .unwrap();
+//! let mut fabric = Fabric::quiet(ft.as_ref());
 //! fabric.set_discipline_both(ft.ea_link(0, 0, 0), LossDiscipline::Full);
 //!
 //! let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
-//! let window = run.run_window(&fabric, &mut rng);
+//! let window = run.step(&fabric, &mut rng);
 //! assert!(window
 //!     .diagnosis
 //!     .suspect_links()
 //!     .contains(&ft.ea_link(0, 0, 0)));
 //! ```
+//!
+//! # Migrating from `MonitorRun`
+//!
+//! Earlier revisions exposed a borrow-bound `MonitorRun<'a>` tied to the
+//! concrete simulator. The mapping is mechanical:
+//!
+//! * `MonitorRun::new(&topo, cfg)?` → `Detector::new(Arc::new(topo), cfg)?`
+//!   (or the [`Detector::builder`] form to attach sinks);
+//! * `run.run_window(&fabric, &mut rng)` → `run.step(&fabric, &mut rng)`
+//!   — `&Fabric` coerces to `&dyn DataPlane`;
+//! * configuration errors now surface as typed [`ConfigError`]s from
+//!   `build()` instead of runtime panics.
 
 mod clock;
 mod controller;
+mod dataplane;
 mod diagnoser;
-mod monitor;
+mod events;
 mod pinger;
 mod pinglist;
 mod report;
 mod responder;
+mod runtime;
 mod watchdog;
+
+use std::fmt;
+use std::sync::Arc;
 
 pub use clock::SimClock;
 pub use controller::{Controller, Deployment};
+pub use dataplane::{DataPlane, ProbeOutcome};
 pub use diagnoser::{Diagnoser, DiagnosisEvent};
-pub use monitor::{MonitorRun, WindowResult};
+pub use events::{CollectingSink, EventSink, JsonLinesSink, RuntimeEvent, WindowResult};
 pub use pinger::{Pinger, PingerCostModel};
 pub use pinglist::{PingEntry, Pinglist};
 pub use report::{PathCounters, PingerReport, ReportStore};
 pub use responder::Responder;
+pub use runtime::{BuildError, Detector, DetectorBuilder};
 pub use watchdog::Watchdog;
 
 use detector_core::pll::PllConfig;
 use detector_core::pmc::PmcConfig;
+use detector_topology::DcnTopology;
+
+/// A shared, thread-safe handle to a monitored topology.
+///
+/// The runtime owns its topology (no more `Box::leak` lifetime hacks in
+/// callers) and shares it with the controller; `Send + Sync` keeps the
+/// door open for the ROADMAP's async/overlapping-window scheduler.
+pub type SharedTopology = Arc<dyn DcnTopology + Send + Sync>;
 
 /// Deployment-wide configuration (§6.1 defaults).
 #[derive(Clone, Debug)]
@@ -124,4 +160,65 @@ impl SystemConfig {
         self.pmc = pmc;
         self
     }
+
+    /// Validates the configuration; [`DetectorBuilder::build`] calls this
+    /// so misconfigurations surface as typed errors at construction time
+    /// instead of panics mid-campaign.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window_s == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        // A zero cycle_s would make the boundary check true never (the
+        // deployment would serve stale pinglists forever).
+        if self.cycle_s == 0 {
+            return Err(ConfigError::ZeroCycle);
+        }
+        if !self.probe_rate_pps.is_finite() || self.probe_rate_pps <= 0.0 {
+            return Err(ConfigError::NonPositiveProbeRate);
+        }
+        if self.dscp_classes.is_empty() {
+            return Err(ConfigError::NoDscpClasses);
+        }
+        if self.pingers_per_tor == 0 {
+            return Err(ConfigError::ZeroPingersPerTor);
+        }
+        if self.timeout_us.is_nan() || self.timeout_us <= 0.0 {
+            return Err(ConfigError::NonPositiveTimeout);
+        }
+        Ok(())
+    }
 }
+
+/// A [`SystemConfig`] field rejected at build time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `window_s` was zero: no reporting interval.
+    ZeroWindow,
+    /// `cycle_s` was zero: the probe matrix would never refresh.
+    ZeroCycle,
+    /// `probe_rate_pps` was zero, negative or non-finite.
+    NonPositiveProbeRate,
+    /// `dscp_classes` was empty (the pinger cycles through it).
+    NoDscpClasses,
+    /// `pingers_per_tor` was zero: nothing would probe.
+    ZeroPingersPerTor,
+    /// `timeout_us` was zero or negative: every probe would be a loss.
+    NonPositiveTimeout,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWindow => write!(f, "window_s must be > 0"),
+            ConfigError::ZeroCycle => write!(f, "cycle_s must be > 0"),
+            ConfigError::NonPositiveProbeRate => {
+                write!(f, "probe_rate_pps must be a positive finite number")
+            }
+            ConfigError::NoDscpClasses => write!(f, "dscp_classes must be non-empty"),
+            ConfigError::ZeroPingersPerTor => write!(f, "pingers_per_tor must be > 0"),
+            ConfigError::NonPositiveTimeout => write!(f, "timeout_us must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -2,10 +2,11 @@
 //! (§3.1, §6.1).
 
 use detector_core::types::NodeId;
-use detector_simnet::{Fabric, FlowKey};
-use detector_topology::Route;
+use detector_simnet::FlowKey;
+use detector_topology::{Dcn, Route};
 use rand::rngs::SmallRng;
 
+use crate::dataplane::DataPlane;
 use crate::pinglist::Pinglist;
 use crate::report::{PathCounters, PingerReport};
 use crate::SystemConfig;
@@ -19,11 +20,10 @@ pub struct Pinger {
 
 impl Pinger {
     /// Binds a pinglist, resolving each entry's node route against the
-    /// fabric's topology. Entries whose route cannot be resolved (e.g.
-    /// stale after a topology change) are dropped, as a production pinger
-    /// would on a dispatch error.
-    pub fn bind(list: Pinglist, fabric: &Fabric<'_>) -> Self {
-        let graph = fabric.topology().graph();
+    /// monitored topology's graph. Entries whose route cannot be resolved
+    /// (e.g. stale after a topology change) are dropped, as a production
+    /// pinger would on a dispatch error.
+    pub fn bind(list: Pinglist, graph: &Dcn) -> Self {
         let mut kept = Pinglist {
             entries: Vec::new(),
             ..list.clone()
@@ -54,7 +54,7 @@ impl Pinger {
     /// aggregates counters.
     pub fn run_window(
         &self,
-        fabric: &Fabric<'_>,
+        dataplane: &dyn DataPlane,
         cfg: &SystemConfig,
         window: u64,
         rng: &mut SmallRng,
@@ -93,7 +93,7 @@ impl Pinger {
                 Some(pid) => report.paths.entry(pid).or_default(),
                 None => report.in_rack.entry(entry.responder).or_default(),
             };
-            let lost = probe_once(fabric, route, flow, cfg, counters, rng);
+            let lost = probe_once(dataplane, route, flow, cfg, counters, rng);
             let mut flow_sent = 1u64;
             let mut flow_lost = u64::from(lost);
             if lost {
@@ -102,7 +102,7 @@ impl Pinger {
                 // get through — exactly the signal the diagnoser wants.
                 for _ in 0..cfg.confirm_probes {
                     flow_sent += 1;
-                    flow_lost += u64::from(probe_once(fabric, route, flow, cfg, counters, rng));
+                    flow_lost += u64::from(probe_once(dataplane, route, flow, cfg, counters, rng));
                 }
             }
             // Per-flow counters feed the loss-type classifier (§7).
@@ -119,21 +119,21 @@ impl Pinger {
 
 /// Sends one probe, updates counters, returns true on loss.
 fn probe_once(
-    fabric: &Fabric<'_>,
+    dataplane: &dyn DataPlane,
     route: &Route,
     flow: FlowKey,
     cfg: &SystemConfig,
     counters: &mut PathCounters,
     rng: &mut SmallRng,
 ) -> bool {
-    let rt = fabric.round_trip(route, flow, rng);
+    let out = dataplane.probe(route, flow, rng);
     counters.sent += 1;
-    let lost = !rt.success || rt.rtt_us > cfg.timeout_us;
+    let lost = !out.delivered || out.rtt_us > cfg.timeout_us;
     if lost {
         counters.lost += 1;
     } else {
-        counters.rtt_sum_us += rt.rtt_us;
-        counters.rtt_max_us = counters.rtt_max_us.max(rt.rtt_us);
+        counters.rtt_sum_us += out.rtt_us;
+        counters.rtt_max_us = counters.rtt_max_us.max(out.rtt_us);
     }
     lost
 }
@@ -190,8 +190,8 @@ mod tests {
     use super::*;
     use crate::pinglist::PingEntry;
     use detector_core::types::PathId;
-    use detector_simnet::LossDiscipline;
-    use detector_topology::Fattree;
+    use detector_simnet::{Fabric, LossDiscipline};
+    use detector_topology::{DcnTopology, Fattree};
     use rand::SeedableRng;
 
     fn setup(ft: &Fattree) -> (Pinglist, Fabric<'_>) {
@@ -227,7 +227,7 @@ mod tests {
     fn clean_window_counts_all_sent() {
         let ft = Fattree::new(4).unwrap();
         let (list, fabric) = setup(&ft);
-        let pinger = Pinger::bind(list, &fabric);
+        let pinger = Pinger::bind(list, ft.graph());
         let cfg = SystemConfig::default();
         let mut rng = SmallRng::seed_from_u64(1);
         let rep = pinger.run_window(&fabric, &cfg, 0, &mut rng);
@@ -242,7 +242,7 @@ mod tests {
         let ft = Fattree::new(4).unwrap();
         let (list, mut fabric) = setup(&ft);
         fabric.set_discipline_both(ft.ea_link(0, 0, 0), LossDiscipline::Full);
-        let pinger = Pinger::bind(list, &fabric);
+        let pinger = Pinger::bind(list, ft.graph());
         let cfg = SystemConfig::default();
         let mut rng = SmallRng::seed_from_u64(2);
         let rep = pinger.run_window(&fabric, &cfg, 0, &mut rng);
@@ -263,7 +263,7 @@ mod tests {
                 salt: 99,
             },
         );
-        let pinger = Pinger::bind(list, &fabric);
+        let pinger = Pinger::bind(list, ft.graph());
         let cfg = SystemConfig::default();
         let mut rng = SmallRng::seed_from_u64(3);
         let rep = pinger.run_window(&fabric, &cfg, 0, &mut rng);
@@ -276,14 +276,14 @@ mod tests {
     #[test]
     fn unresolvable_entries_are_dropped_at_bind() {
         let ft = Fattree::new(4).unwrap();
-        let (mut list, fabric) = setup(&ft);
+        let (mut list, _fabric) = setup(&ft);
         list.entries.push(PingEntry {
             path: Some(PathId(1)),
             route: vec![ft.server(0, 0, 0), ft.server(3, 1, 1)], // Not adjacent.
             responder: ft.server(3, 1, 1),
             waypoint: None,
         });
-        let pinger = Pinger::bind(list, &fabric);
+        let pinger = Pinger::bind(list, ft.graph());
         assert_eq!(pinger.num_entries(), 1);
     }
 
@@ -297,7 +297,7 @@ mod tests {
             ft.ea_link(0, 0, 0),
             LossDiscipline::DscpBlackhole { dscp: 46 },
         );
-        let pinger = Pinger::bind(list, &fabric);
+        let pinger = Pinger::bind(list, ft.graph());
         let cfg = SystemConfig::default();
         let mut rng = SmallRng::seed_from_u64(5);
         let rep = pinger.run_window(&fabric, &cfg, 0, &mut rng);

@@ -1,0 +1,432 @@
+//! The deTector runtime handle: an owned, event-driven monitoring loop
+//! (§3.2's controller → pingers → diagnoser cycle).
+//!
+//! [`Detector`] owns its topology (`Arc<dyn DcnTopology>`), validates its
+//! configuration at build time, and executes windows as an event stream:
+//! every [`step`](Detector::step) emits typed [`RuntimeEvent`]s to the
+//! registered [`EventSink`]s and returns the window's [`WindowResult`].
+//! The network is reached only through the [`DataPlane`] seam, so the
+//! same runtime drives the simulated fabric, a mock, or (eventually) a
+//! real-packet backend.
+
+use std::fmt;
+use std::sync::Arc;
+
+use detector_core::pll::LossClassification;
+use detector_core::pmc::{PmcError, ProbeMatrix};
+use detector_core::types::LinkId;
+use detector_topology::DcnTopology;
+use rand::rngs::SmallRng;
+
+use crate::clock::SimClock;
+use crate::controller::{Controller, Deployment};
+use crate::dataplane::DataPlane;
+use crate::diagnoser::Diagnoser;
+use crate::events::{EventSink, RuntimeEvent, WindowResult};
+use crate::pinger::Pinger;
+use crate::watchdog::Watchdog;
+use crate::{ConfigError, SharedTopology, SystemConfig};
+
+/// Why a [`Detector`] could not be built.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// Probe-matrix construction failed.
+    Pmc(PmcError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Config(e) => write!(f, "invalid configuration: {e}"),
+            BuildError::Pmc(e) => write!(f, "probe-matrix construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+impl From<PmcError> for BuildError {
+    fn from(e: PmcError) -> Self {
+        BuildError::Pmc(e)
+    }
+}
+
+/// Builder for [`Detector`]: topology in, validated runtime out.
+pub struct DetectorBuilder {
+    topo: SharedTopology,
+    cfg: SystemConfig,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl DetectorBuilder {
+    /// Replaces the configuration (defaults are §6.1's).
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Registers an event sink; sinks observe every [`RuntimeEvent`] in
+    /// emission order. May be called repeatedly.
+    pub fn sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Validates the configuration, computes the first probe matrix and
+    /// pinglists, and returns the runtime handle.
+    pub fn build(self) -> Result<Detector, BuildError> {
+        self.cfg.validate()?;
+        let mut controller = Controller::new(self.topo.clone(), self.cfg.clone());
+        let watchdog = Watchdog::new();
+        let deployment = controller.build_deployment(watchdog.unhealthy_set())?;
+        let diagnoser = Diagnoser::new(deployment.matrix.clone(), self.cfg.pll);
+        Ok(Detector {
+            topo: self.topo,
+            cfg: self.cfg,
+            controller,
+            deployment,
+            diagnoser,
+            watchdog,
+            clock: SimClock::new(),
+            window: 0,
+            sinks: self.sinks,
+        })
+    }
+}
+
+/// A running deTector deployment.
+///
+/// Owns the monitored topology; drive it window by window with
+/// [`step`](Self::step) against any [`DataPlane`].
+pub struct Detector {
+    topo: SharedTopology,
+    cfg: SystemConfig,
+    controller: Controller,
+    deployment: Deployment,
+    diagnoser: Diagnoser,
+    /// The watchdog, exposed for scenario scripting (e.g. killing a
+    /// pinger server mid-run).
+    pub watchdog: Watchdog,
+    clock: SimClock,
+    window: u64,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl Detector {
+    /// Starts building a detector for `topo`.
+    pub fn builder(topo: SharedTopology) -> DetectorBuilder {
+        DetectorBuilder {
+            topo,
+            cfg: SystemConfig::default(),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Builds a detector with no sinks — shorthand for
+    /// `Detector::builder(topo).config(cfg).build()`.
+    pub fn new(topo: SharedTopology, cfg: SystemConfig) -> Result<Self, BuildError> {
+        Self::builder(topo).config(cfg).build()
+    }
+
+    /// Registers an additional event sink on a built detector.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// The probe matrix currently deployed.
+    pub fn matrix(&self) -> &ProbeMatrix {
+        &self.deployment.matrix
+    }
+
+    /// The monitored topology.
+    pub fn topology(&self) -> &dyn DcnTopology {
+        self.topo.as_ref()
+    }
+
+    /// A shared handle to the monitored topology.
+    pub fn topology_arc(&self) -> SharedTopology {
+        Arc::clone(&self.topo)
+    }
+
+    /// Scheduled detection probes per window (before loss confirmations):
+    /// pingers × rate × window.
+    pub fn scheduled_probes_per_window(&self) -> u64 {
+        self.deployment.pinglists.len() as u64
+            * (self.cfg.probe_rate_pps * self.cfg.window_s as f64) as u64
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now_s(&self) -> u64 {
+        self.clock.now_s()
+    }
+
+    /// Classifies the loss pattern behind a suspect link from a past
+    /// window's per-flow counters (§7 — narrows the operator's diagnosis
+    /// scope: link down vs blackhole vs random corruption vs congestion).
+    pub fn classify_suspect(&self, window: u64, link: LinkId) -> Option<LossClassification> {
+        self.diagnoser
+            .classify_suspect(window, link, &self.watchdog)
+    }
+
+    /// Runs one window against `dataplane`: every healthy pinger probes
+    /// its list, reports are ingested, and the diagnoser runs PLL.
+    ///
+    /// Event order per window: `WindowStarted`, then an optional
+    /// `CycleRefreshed` (exactly on cycle boundaries), then one
+    /// `PingerUnhealthy` or `ReportIngested` per pinger, and finally
+    /// `DiagnosisReady` carrying the returned [`WindowResult`].
+    pub fn step(&mut self, dataplane: &dyn DataPlane, rng: &mut SmallRng) -> WindowResult {
+        let window = self.window;
+        let start_s = self.clock.now_s();
+        let emit = |ev: RuntimeEvent, sinks: &mut Vec<Box<dyn EventSink>>| {
+            for s in sinks.iter_mut() {
+                s.on_event(&ev);
+            }
+        };
+
+        emit(
+            RuntimeEvent::WindowStarted { window, start_s },
+            &mut self.sinks,
+        );
+        dataplane.window_started(window, start_s);
+
+        // Controller cycle boundary: recompute pinglists (topology or
+        // health may have changed). The matrix itself is recomputed too,
+        // matching §6.1's 10-minute refresh. cycle_s == 0 is rejected at
+        // build time (ConfigError::ZeroCycle), so the boundary check is
+        // well defined here.
+        if window > 0 && start_s.is_multiple_of(self.cfg.cycle_s) {
+            if let Ok(dep) = self
+                .controller
+                .build_deployment(self.watchdog.unhealthy_set())
+            {
+                self.diagnoser.set_matrix(dep.matrix.clone());
+                emit(
+                    RuntimeEvent::CycleRefreshed {
+                        window,
+                        version: dep.version,
+                        num_paths: dep.matrix.num_paths(),
+                    },
+                    &mut self.sinks,
+                );
+                self.deployment = dep;
+            }
+        }
+
+        let mut probes_sent = 0u64;
+        let graph = self.topo.graph();
+        for list in &self.deployment.pinglists {
+            if !self.watchdog.is_healthy(list.pinger) {
+                emit(
+                    RuntimeEvent::PingerUnhealthy {
+                        window,
+                        pinger: list.pinger,
+                    },
+                    &mut self.sinks,
+                );
+                continue;
+            }
+            let pinger = Pinger::bind(list.clone(), graph);
+            let report = pinger.run_window(dataplane, &self.cfg, window, rng);
+            let sent = report.total_sent();
+            probes_sent += sent;
+            emit(
+                RuntimeEvent::ReportIngested {
+                    window,
+                    pinger: list.pinger,
+                    probes_sent: sent,
+                    num_paths: report.paths.len(),
+                },
+                &mut self.sinks,
+            );
+            // Server health comes from the management plane (heartbeats),
+            // not from dataplane loss: an all-lost report usually means the
+            // pinger's rack uplink or ToR failed — precisely what the
+            // diagnoser must see, not a reason to silence the pinger.
+            // External health marks (watchdog.mark_unhealthy) still exclude
+            // reports and pinger duty.
+            self.diagnoser.ingest(report);
+        }
+
+        let event = self.diagnoser.diagnose(window, &self.watchdog);
+        self.clock.advance_s(self.cfg.window_s);
+        self.window += 1;
+        // Keep a few windows of history, as the paper's database would.
+        self.diagnoser.prune_before(window.saturating_sub(20));
+
+        let result = WindowResult {
+            window,
+            start_s,
+            probes_sent,
+            num_observations: event.num_observations,
+            diagnosis: event.diagnosis,
+        };
+        emit(
+            RuntimeEvent::DiagnosisReady(result.clone()),
+            &mut self.sinks,
+        );
+        dataplane.window_finished(window, self.clock.now_s());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_core::pll::evaluate_diagnosis;
+    use detector_simnet::{Fabric, FailureGenerator, LossDiscipline};
+    use detector_topology::Fattree;
+    use rand::SeedableRng;
+
+    fn detector(cfg: SystemConfig) -> Detector {
+        Detector::new(Arc::new(Fattree::new(4).unwrap()), cfg).unwrap()
+    }
+
+    #[test]
+    fn clean_fabric_produces_clean_diagnoses() {
+        let ft = Fattree::new(4).unwrap();
+        let mut run = detector(SystemConfig::default());
+        let fabric = Fabric::quiet(&ft);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..3 {
+            let w = run.step(&fabric, &mut rng);
+            assert!(w.diagnosis.suspects.is_empty(), "window {}", w.window);
+            assert!(w.probes_sent > 0);
+        }
+    }
+
+    #[test]
+    fn full_link_failure_is_localized_within_one_window() {
+        let ft = Fattree::new(4).unwrap();
+        let mut run = detector(SystemConfig::default());
+        let mut fabric = Fabric::quiet(&ft);
+        let bad = ft.ac_link(2, 1, 0);
+        fabric.set_discipline_both(bad, LossDiscipline::Full);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let w = run.step(&fabric, &mut rng);
+        assert!(
+            w.diagnosis.suspect_links().contains(&bad),
+            "suspects: {:?}",
+            w.diagnosis.suspect_links()
+        );
+    }
+
+    #[test]
+    fn random_scenarios_reach_high_accuracy() {
+        let ft = Fattree::new(4).unwrap();
+        let mut run = detector(SystemConfig::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gen = FailureGenerator::links_only().with_min_rate(0.05);
+        let mut acc_sum = 0.0;
+        let n = 10;
+        for _ in 0..n {
+            let mut fabric = Fabric::quiet(&ft);
+            let scenario = gen.sample(&ft, 1, &mut rng);
+            fabric.apply_scenario(&scenario);
+            let w = run.step(&fabric, &mut rng);
+            let m = evaluate_diagnosis(&w.diagnosis.suspect_links(), &scenario.ground_truth(&ft));
+            acc_sum += m.accuracy;
+        }
+        let acc = acc_sum / n as f64;
+        assert!(acc >= 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn clock_advances_per_window() {
+        let ft = Fattree::new(4).unwrap();
+        let mut run = detector(SystemConfig::default());
+        let fabric = Fabric::quiet(&ft);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(run.now_s(), 0);
+        run.step(&fabric, &mut rng);
+        assert_eq!(run.now_s(), 30);
+    }
+
+    #[test]
+    fn zero_cycle_is_rejected_at_build_time() {
+        let topo: SharedTopology = Arc::new(Fattree::new(4).unwrap());
+        let cfg = SystemConfig {
+            cycle_s: 0,
+            ..SystemConfig::default()
+        };
+        match Detector::new(topo, cfg).err() {
+            Some(BuildError::Config(ConfigError::ZeroCycle)) => {}
+            other => panic!("expected ConfigError::ZeroCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_field() {
+        let topo: SharedTopology = Arc::new(Fattree::new(4).unwrap());
+        let cases: Vec<(SystemConfig, ConfigError)> = vec![
+            (
+                SystemConfig {
+                    window_s: 0,
+                    ..SystemConfig::default()
+                },
+                ConfigError::ZeroWindow,
+            ),
+            (
+                SystemConfig {
+                    probe_rate_pps: 0.0,
+                    ..SystemConfig::default()
+                },
+                ConfigError::NonPositiveProbeRate,
+            ),
+            (
+                SystemConfig {
+                    probe_rate_pps: f64::NAN,
+                    ..SystemConfig::default()
+                },
+                ConfigError::NonPositiveProbeRate,
+            ),
+            (
+                SystemConfig {
+                    dscp_classes: vec![],
+                    ..SystemConfig::default()
+                },
+                ConfigError::NoDscpClasses,
+            ),
+            (
+                SystemConfig {
+                    pingers_per_tor: 0,
+                    ..SystemConfig::default()
+                },
+                ConfigError::ZeroPingersPerTor,
+            ),
+            (
+                SystemConfig {
+                    timeout_us: 0.0,
+                    ..SystemConfig::default()
+                },
+                ConfigError::NonPositiveTimeout,
+            ),
+        ];
+        for (cfg, want) in cases {
+            match Detector::new(Arc::clone(&topo), cfg).err() {
+                Some(BuildError::Config(got)) => assert_eq!(got, want),
+                other => panic!("expected {want:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detector_is_owned_and_outlives_its_construction_scope() {
+        // The borrow-bound MonitorRun<'a> forced callers to Box::leak
+        // topologies; the owned handle must move freely.
+        let run = {
+            let topo: SharedTopology = Arc::new(Fattree::new(4).unwrap());
+            Detector::new(topo, SystemConfig::default()).unwrap()
+        };
+        assert!(run.matrix().num_paths() > 0);
+        assert_eq!(run.topology().graph().num_switches(), 20);
+    }
+}

@@ -4,19 +4,15 @@
 //!
 //! Run with: `cargo run --release --example failure_drill`
 
+use std::sync::Arc;
+
 use detector::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn drill(
-    name: &str,
-    ft: &Fattree,
-    run: &mut MonitorRun<'_>,
-    fabric: &Fabric<'_>,
-    truth: &[LinkId],
-) {
+fn drill(name: &str, ft: &Fattree, run: &mut Detector, fabric: &Fabric<'_>, truth: &[LinkId]) {
     let mut rng = SmallRng::seed_from_u64(0xD311);
-    let w = run.run_window(fabric, &mut rng);
+    let w = run.step(fabric, &mut rng);
     let suspects = w.diagnosis.suspect_links();
     // §7: classify the loss pattern to narrow the diagnosis scope.
     let class = suspects
@@ -59,7 +55,7 @@ fn common_switch(ft: &Fattree, suspects: &[LinkId]) -> Option<NodeId> {
 
 fn main() {
     let ft = Fattree::new(4).expect("valid radix");
-    let mut run = MonitorRun::new(&ft, SystemConfig::default()).expect("boot");
+    let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).expect("boot");
 
     // 1. Full loss on an edge-agg link.
     let l1 = ft.ea_link(2, 0, 1);

@@ -1,16 +1,32 @@
 //! A full monitoring campaign: the deTector runtime (controller, pingers,
 //! diagnoser) watching a simulated Fattree for 10 minutes while failures
-//! come and go; prints the detection timeline.
+//! come and go; prints the detection timeline and, at the end, a summary
+//! of the runtime's event stream (the new `EventSink` seam).
 //!
 //! Run with: `cargo run --release --example monitor_loop`
+
+use std::sync::Arc;
 
 use detector::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
-    let ft = Fattree::new(4).expect("valid radix");
-    let mut run = MonitorRun::new(&ft, SystemConfig::default()).expect("boot");
+    let ft = Arc::new(Fattree::new(4).expect("valid radix"));
+    // The collecting sink observes every RuntimeEvent; clone it before
+    // registration to keep a reading handle.
+    let collector = CollectingSink::new();
+    // A 5-minute matrix-refresh cycle so the 10-minute campaign crosses
+    // a cycle boundary and the event stream shows a CycleRefreshed.
+    let cfg = SystemConfig {
+        cycle_s: 300,
+        ..SystemConfig::default()
+    };
+    let mut run = Detector::builder(ft.clone())
+        .config(cfg)
+        .sink(Box::new(collector.clone()))
+        .build()
+        .expect("boot");
     println!(
         "deTector up: {} probe paths, {} scheduled probes per 30s window\n",
         run.matrix().num_paths(),
@@ -22,11 +38,11 @@ fn main() {
 
     // Failure schedule: a failure appears at minute 2 and clears at
     // minute 5; another (2 links) appears at minute 7.
-    let f1 = gen.sample(&ft, 1, &mut rng);
-    let f2 = gen.sample(&ft, 2, &mut rng);
+    let f1 = gen.sample(ft.as_ref(), 1, &mut rng);
+    let f2 = gen.sample(ft.as_ref(), 2, &mut rng);
 
     for minute in 0..10u64 {
-        let mut fabric = Fabric::new(&ft, 9_000 + minute);
+        let mut fabric = Fabric::new(ft.as_ref(), 9_000 + minute);
         let active: Vec<&FailureScenario> = match minute {
             2..=4 => vec![&f1],
             7..=9 => vec![&f2],
@@ -35,13 +51,13 @@ fn main() {
         let mut truth = Vec::new();
         for s in &active {
             fabric.apply_scenario(s);
-            truth.extend(s.ground_truth(&ft));
+            truth.extend(s.ground_truth(ft.as_ref()));
         }
         truth.sort_unstable();
         truth.dedup();
 
         for _ in 0..2 {
-            let w = run.run_window(&fabric, &mut rng);
+            let w = run.step(&fabric, &mut rng);
             let suspects = w.diagnosis.suspect_links();
             let m = evaluate_diagnosis(&suspects, &truth);
             println!(
@@ -57,4 +73,19 @@ fn main() {
         }
     }
     println!("\ncampaign finished at t={}s", run.now_s());
+
+    // What the event stream saw: one bracketed window per step, a
+    // CycleRefreshed on the 300 s boundary, one report per pinger.
+    let events = collector.events();
+    let count = |pred: fn(&RuntimeEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+    println!(
+        "event stream: {} events — {} windows, {} reports, {} cycle refreshes",
+        events.len(),
+        count(|e| matches!(e, RuntimeEvent::WindowStarted { .. })),
+        count(|e| matches!(e, RuntimeEvent::ReportIngested { .. })),
+        count(|e| matches!(e, RuntimeEvent::CycleRefreshed { .. })),
+    );
+    if let Some(RuntimeEvent::DiagnosisReady(last)) = events.last() {
+        println!("last record as JSON-lines: {}", last.to_json());
+    }
 }

@@ -65,11 +65,11 @@ fn main() {
     // 20 probes per path with no loss-confirmation re-probes: treat a
     // single lost packet as background noise (the runtime's pinger does
     // this with confirmation probes instead, §3.1).
-    let pll = PllConfig {
+    let pll: Box<dyn Localizer> = Box::new(PllLocalizer::new(PllConfig {
         min_loss_count: 2,
         ..PllConfig::default()
-    };
-    let diagnosis = localize(&matrix, &observations, &pll);
+    }));
+    let diagnosis = pll.localize(&matrix, &observations);
     println!("\ndiagnosis:");
     for s in &diagnosis.suspects {
         println!(

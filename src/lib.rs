@@ -9,27 +9,53 @@
 //!
 //! * `core` ([`detector_core`]) — the paper's algorithms: PMC probe-matrix
 //!   construction (§4) and PLL loss localization (§5) with the Tomo /
-//!   SCORE / OMP baselines;
+//!   SCORE / OMP baselines, all behind the unified
+//!   [`Localizer`](detector_core::pll::Localizer) trait;
 //! * `topology` ([`detector_topology`]) — Fattree, VL2 and BCube generators
 //!   with ECMP path sets and symmetry-aware candidate providers;
 //! * `simnet` ([`detector_simnet`]) — the deterministic packet-level fabric
 //!   simulator standing in for the paper's SDN testbed;
-//! * `system` ([`detector_system`]) — the deTector runtime: controller,
-//!   pingers, responders, diagnoser, watchdog;
+//! * `system` ([`detector_system`]) — the deTector runtime behind the owned
+//!   [`Detector`](detector_system::Detector) handle: controller, pingers,
+//!   responders, diagnoser, watchdog, driven against any
+//!   [`DataPlane`](detector_system::DataPlane) and observable through
+//!   typed [`RuntimeEvent`](detector_system::RuntimeEvent) sinks;
 //! * `baselines` ([`detector_baselines`]) — Pingmesh, NetNORAD, Netbouncer
-//!   and fbtracert emulations.
+//!   and fbtracert emulations, whose inference stages implement the same
+//!   `Localizer` trait.
 //!
-//! # Examples
+//! # The runtime in five lines
+//!
+//! ```
+//! use detector::prelude::*;
+//! use std::sync::Arc;
+//! use rand::SeedableRng;
+//!
+//! let ft = Arc::new(Fattree::new(4).unwrap());
+//! let mut run = Detector::new(ft.clone(), SystemConfig::default()).unwrap();
+//! let mut fabric = Fabric::quiet(ft.as_ref());
+//! fabric.set_discipline_both(ft.ac_link(1, 0, 1), LossDiscipline::Full);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let window = run.step(&fabric, &mut rng);
+//! assert!(window.diagnosis.suspect_links().contains(&ft.ac_link(1, 0, 1)));
+//! ```
+//!
+//! (Migrating from the old borrow-bound `MonitorRun<'a>`? See the
+//! [`detector_system`] crate docs — `run_window` became
+//! [`Detector::step`](detector_system::Detector::step) and topologies are
+//! now shared via `Arc` instead of leaked references.)
+//!
+//! # The algorithms without the runtime
 //!
 //! ```
 //! use detector::prelude::*;
 //! use rand::SeedableRng;
 //!
-//! // Build the paper's testbed topology and a (3,1) probe matrix.
+//! // Build the paper's testbed topology and a (3, 1) probe matrix.
 //! let ft = Fattree::new(4).unwrap();
 //! let matrix = construct_symmetric(&ft, &PmcConfig::new(3, 1)).unwrap();
 //!
-//! // Fail a link, probe, localize.
+//! // Fail a link, probe, localize through the Localizer trait.
 //! let mut fabric = Fabric::quiet(&ft);
 //! let bad = ft.ac_link(1, 0, 1);
 //! fabric.set_discipline_both(bad, LossDiscipline::Full);
@@ -47,7 +73,8 @@
 //!     }
 //!     observations.push(PathObservation::new(path.id, 20, lost));
 //! }
-//! let diagnosis = localize(&matrix, &observations, &PllConfig::default());
+//! let pll: Box<dyn Localizer> = Box::new(PllLocalizer::default());
+//! let diagnosis = pll.localize(&matrix, &observations);
 //! assert_eq!(diagnosis.suspect_links(), vec![bad]);
 //! ```
 
@@ -60,17 +87,23 @@ pub use detector_topology as topology;
 /// Convenient glob-import surface for examples and quick experiments.
 pub mod prelude {
     pub use detector_baselines::{
-        fbtracert_localize, netbouncer_localize, BaselineConfig, BaselineSystem,
+        fbtracert_localize, fbtracert_sweep, netbouncer_localize, netbouncer_sweep, BaselineConfig,
+        BaselineSystem, FbtracertLocalizer, NetbouncerLocalizer, SweepResult,
     };
+    pub use detector_core::json::{Json, ToJson};
     pub use detector_core::pll::{
         evaluate_diagnosis, localize, localize_omp, localize_score, localize_tomo, Diagnosis,
-        LocalizationMetrics, PllConfig,
+        LocalizationMetrics, Localizer, OmpLocalizer, PllConfig, PllLocalizer, ScoreLocalizer,
+        TomoLocalizer,
     };
     pub use detector_core::pmc::{
         construct, max_identifiability, min_coverage, verify, PmcConfig, ProbeMatrix,
     };
     pub use detector_core::types::{LinkId, NodeId, PathId, PathObservation, ProbePath};
     pub use detector_simnet::{Fabric, FailureGenerator, FailureScenario, FlowKey, LossDiscipline};
-    pub use detector_system::{MonitorRun, SystemConfig, WindowResult};
+    pub use detector_system::{
+        BuildError, CollectingSink, ConfigError, DataPlane, Detector, DetectorBuilder, EventSink,
+        JsonLinesSink, ProbeOutcome, RuntimeEvent, SharedTopology, SystemConfig, WindowResult,
+    };
     pub use detector_topology::{construct_symmetric, BCube, DcnTopology, Fattree, Route, Vl2};
 }

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full controller → pinger →
 //! diagnoser pipeline against the simulated fabric.
 
+use std::sync::Arc;
+
 use detector::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -9,7 +11,7 @@ use rand::SeedableRng;
 fn full_pipeline_is_deterministic() {
     let ft = Fattree::new(4).unwrap();
     let run_once = || {
-        let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+        let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).unwrap();
         let mut fabric = Fabric::new(&ft, 5);
         fabric.set_discipline_both(
             ft.ac_link(0, 0, 0),
@@ -18,7 +20,7 @@ fn full_pipeline_is_deterministic() {
         let mut rng = SmallRng::seed_from_u64(99);
         let mut out = Vec::new();
         for _ in 0..3 {
-            let w = run.run_window(&fabric, &mut rng);
+            let w = run.step(&fabric, &mut rng);
             out.push((w.probes_sent, w.diagnosis.suspect_links()));
         }
         out
@@ -41,12 +43,12 @@ fn every_loss_type_is_localized_by_the_runtime() {
         ("random", LossDiscipline::RandomPartial { rate: 0.3 }),
     ];
     for (i, (name, disc)) in cases.into_iter().enumerate() {
-        let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+        let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).unwrap();
         let bad = ft.ea_link(1, 1, 0);
         let mut fabric = Fabric::new(&ft, 40 + i as u64);
         fabric.set_discipline_both(bad, disc);
         let mut rng = SmallRng::seed_from_u64(7 + i as u64);
-        let w = run.run_window(&fabric, &mut rng);
+        let w = run.step(&fabric, &mut rng);
         assert!(
             w.diagnosis.suspect_links().contains(&bad),
             "{name}: suspects {:?}",
@@ -60,24 +62,24 @@ fn one_directional_failure_is_still_caught() {
     // §4.1: the response probes the reverse direction, so a failure in
     // either direction of a link must surface.
     let ft = Fattree::new(4).unwrap();
-    let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+    let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).unwrap();
     let bad = ft.ac_link(2, 0, 1);
     let mut fabric = Fabric::quiet(&ft);
     fabric.set_discipline(bad, detector::simnet::LinkDir::BtoA, LossDiscipline::Full);
     let mut rng = SmallRng::seed_from_u64(3);
-    let w = run.run_window(&fabric, &mut rng);
+    let w = run.step(&fabric, &mut rng);
     assert!(w.diagnosis.suspect_links().contains(&bad));
 }
 
 #[test]
 fn healthy_network_with_noise_stays_quiet() {
     let ft = Fattree::new(4).unwrap();
-    let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+    let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).unwrap();
     let fabric = Fabric::new(&ft, 11); // Noise only.
     let mut rng = SmallRng::seed_from_u64(13);
     let mut alarms = 0;
     for _ in 0..5 {
-        let w = run.run_window(&fabric, &mut rng);
+        let w = run.step(&fabric, &mut rng);
         alarms += w.diagnosis.suspects.len();
     }
     assert_eq!(alarms, 0, "background noise must not raise alarms");
@@ -86,12 +88,12 @@ fn healthy_network_with_noise_stays_quiet() {
 #[test]
 fn vl2_and_bcube_pipelines_work_end_to_end() {
     let vl2 = Vl2::new(4, 4, 2).unwrap();
-    let mut run = MonitorRun::new(&vl2, SystemConfig::default()).unwrap();
+    let mut run = Detector::new(Arc::new(vl2.clone()), SystemConfig::default()).unwrap();
     let bad = LinkId(2); // A ToR-agg link.
     let mut fabric = Fabric::quiet(&vl2);
     fabric.set_discipline_both(bad, LossDiscipline::Full);
     let mut rng = SmallRng::seed_from_u64(17);
-    let w = run.run_window(&fabric, &mut rng);
+    let w = run.step(&fabric, &mut rng);
     assert!(
         w.diagnosis.suspect_links().contains(&bad),
         "vl2 suspects: {:?}",
@@ -99,11 +101,11 @@ fn vl2_and_bcube_pipelines_work_end_to_end() {
     );
 
     let bc = BCube::new(3, 1).unwrap();
-    let mut run = MonitorRun::new(&bc, SystemConfig::default()).unwrap();
+    let mut run = Detector::new(Arc::new(bc.clone()), SystemConfig::default()).unwrap();
     let bad = LinkId(4);
     let mut fabric = Fabric::quiet(&bc);
     fabric.set_discipline_both(bad, LossDiscipline::Full);
-    let w = run.run_window(&fabric, &mut rng);
+    let w = run.step(&fabric, &mut rng);
     assert!(
         w.diagnosis.suspect_links().contains(&bad),
         "bcube suspects: {:?}",
@@ -117,14 +119,14 @@ fn detection_beats_baselines_on_transient_failures() {
     // detected the loss; a baseline's post-alarm round finds a healed
     // fabric.
     let ft = Fattree::new(4).unwrap();
-    let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+    let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).unwrap();
     let bad = ft.ea_link(3, 0, 1);
     let mut fabric = Fabric::quiet(&ft);
     fabric.set_discipline_both(bad, LossDiscipline::Full);
     let mut rng = SmallRng::seed_from_u64(23);
 
     // deTector: detected and localized within the failure's lifetime.
-    let w = run.run_window(&fabric, &mut rng);
+    let w = run.step(&fabric, &mut rng);
     assert!(w.diagnosis.suspect_links().contains(&bad));
 
     // Baseline: detects suspect pairs, but the failure clears before the
@@ -179,11 +181,11 @@ fn suspect_loss_types_are_classified() {
         ),
     ];
     for (i, (disc, want)) in cases.into_iter().enumerate() {
-        let mut run = MonitorRun::new(&ft, SystemConfig::default()).unwrap();
+        let mut run = Detector::new(Arc::new(ft.clone()), SystemConfig::default()).unwrap();
         let mut fabric = Fabric::quiet(&ft);
         fabric.set_discipline_both(bad, disc);
         let mut rng = SmallRng::seed_from_u64(60 + i as u64);
-        let w = run.run_window(&fabric, &mut rng);
+        let w = run.step(&fabric, &mut rng);
         assert!(w.diagnosis.suspect_links().contains(&bad));
         let c = run
             .classify_suspect(w.window, bad)
