@@ -73,6 +73,15 @@ impl Json {
         }
     }
 
+    /// The value as a signed integer (used by delta counters that can go
+    /// negative, e.g. `probes_delta` in plan-update records).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
     /// The value as a `usize`.
     pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|v| usize::try_from(v).ok())

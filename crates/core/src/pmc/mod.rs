@@ -31,7 +31,7 @@ mod virtual_links;
 
 pub use decompose::{decompose, Subproblem};
 pub use parallel::construct_decomposed_parallel;
-pub use provider::{CandidateProvider, ExhaustiveProvider};
+pub use provider::{CandidateProvider, ExcludingProvider, ExhaustiveProvider};
 pub use state::{Eval, SelectionState};
 pub use verify::{max_identifiability, min_coverage, verify, VerifyReport};
 pub use virtual_links::ExtendedUniverse;
@@ -361,6 +361,56 @@ pub fn construct_with_provider<P: CandidateProvider>(
 ) -> Result<SubSolution, PmcError> {
     let deadline = cfg.timeout.map(|t| Instant::now() + t);
     lazy::run_with_provider(provider, cfg, deadline)
+}
+
+/// Re-solves one subproblem with part of its universe excluded — the
+/// incremental re-plan path (§4's "recompute quickly when the network
+/// changes"): a failed or drained link leaves the coverage universe, every
+/// candidate crossing it is dropped, and the greedy re-runs over the
+/// survivors. Untouched subproblems keep their solutions, so a topology
+/// delta costs one bounded re-solve instead of a whole-matrix recompute.
+///
+/// The result is identical to solving the same restricted subproblem from
+/// scratch: the greedy is deterministic and the restriction depends only
+/// on `(universe, candidates, excluded)`, not on any previous solution.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashSet;
+/// use detector_core::pmc::{resolve_subproblem, PmcConfig};
+/// use detector_core::types::{LinkId, ProbePath};
+///
+/// let universe = vec![LinkId(0), LinkId(1), LinkId(2)];
+/// let candidates = vec![
+///     ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+///     ProbePath::from_links(1, vec![LinkId(1)]),
+///     ProbePath::from_links(2, vec![LinkId(2)]),
+/// ];
+/// let dead: HashSet<LinkId> = [LinkId(0)].into_iter().collect();
+/// let sol = resolve_subproblem(&universe, &candidates, &dead, &PmcConfig::identifiable(1)).unwrap();
+/// // Links 1 and 2 stay covered and identifiable without crossing link 0.
+/// assert!(sol.targets_met);
+/// assert!(sol.paths.iter().all(|p| !p.covers(LinkId(0))));
+/// ```
+pub fn resolve_subproblem(
+    universe: &[LinkId],
+    candidates: &[ProbePath],
+    excluded: &std::collections::HashSet<LinkId>,
+    cfg: &PmcConfig,
+) -> Result<SubSolution, PmcError> {
+    let deadline = cfg.timeout.map(|t| Instant::now() + t);
+    let universe: Vec<LinkId> = universe
+        .iter()
+        .copied()
+        .filter(|l| !excluded.contains(l))
+        .collect();
+    let candidates: Vec<ProbePath> = candidates
+        .iter()
+        .filter(|p| !p.links().iter().any(|l| excluded.contains(l)))
+        .cloned()
+        .collect();
+    solve_subproblem(universe, candidates, cfg, deadline)
 }
 
 /// Merges per-subproblem solutions into a dense probe matrix.

@@ -93,6 +93,66 @@ impl CandidateProvider for ExhaustiveProvider {
     }
 }
 
+/// A provider adapter that removes a set of excluded (failed/drained)
+/// links from a subproblem: the excluded links leave the coverage
+/// universe and every candidate crossing one is dropped.
+///
+/// This is the provider-side half of the incremental re-plan path: when a
+/// topology delta hits a symmetric component, the planner re-solves just
+/// that component with a fresh base provider wrapped in an
+/// `ExcludingProvider` instead of recomputing the whole matrix.
+pub struct ExcludingProvider<P> {
+    inner: P,
+    universe: Vec<LinkId>,
+    excluded: std::collections::HashSet<LinkId>,
+}
+
+impl<P: CandidateProvider> ExcludingProvider<P> {
+    /// Wraps `inner`, excluding `excluded` from its universe and
+    /// candidate stream.
+    pub fn new(inner: P, excluded: std::collections::HashSet<LinkId>) -> Self {
+        let universe = inner
+            .universe()
+            .iter()
+            .copied()
+            .filter(|l| !excluded.contains(l))
+            .collect();
+        Self {
+            inner,
+            universe,
+            excluded,
+        }
+    }
+}
+
+impl<P: CandidateProvider> CandidateProvider for ExcludingProvider<P> {
+    fn universe(&self) -> &[LinkId] {
+        &self.universe
+    }
+
+    fn next_batch(&mut self) -> Vec<ProbePath> {
+        // An empty batch signals exhaustion to the greedy loop, so keep
+        // pulling while filtering leaves nothing (a batch may cross the
+        // excluded links entirely).
+        loop {
+            let mut batch = self.inner.next_batch();
+            if batch.is_empty() {
+                return batch;
+            }
+            batch.retain(|p| !p.links().iter().any(|l| self.excluded.contains(l)));
+            if !batch.is_empty() {
+                return batch;
+            }
+        }
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        // Upper bound: the inner provider's estimate counts candidates
+        // that may be filtered out.
+        self.inner.remaining_hint()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +175,44 @@ mod tests {
         assert_eq!(p.next_batch().len(), 2);
         assert_eq!(p.remaining_hint(), Some(1));
         assert_eq!(p.next_batch().len(), 1);
+        assert!(p.next_batch().is_empty());
+    }
+
+    #[test]
+    fn excluding_provider_shrinks_universe_and_filters_candidates() {
+        let inner = ExhaustiveProvider::new(vec![
+            path(0, &[0, 1]),
+            path(1, &[1, 2]),
+            path(2, &[2]),
+            path(3, &[0, 2]),
+        ]);
+        let excluded: std::collections::HashSet<LinkId> = [LinkId(1)].into_iter().collect();
+        let mut p = ExcludingProvider::new(inner, excluded);
+        assert_eq!(p.universe(), &[LinkId(0), LinkId(2)]);
+        let mut got = Vec::new();
+        loop {
+            let b = p.next_batch();
+            if b.is_empty() {
+                break;
+            }
+            got.extend(b);
+        }
+        // Paths crossing link 1 are gone.
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|p| !p.covers(LinkId(1))));
+    }
+
+    #[test]
+    fn excluding_provider_skips_fully_filtered_batches() {
+        // Batch size 1 forces batches that filtering empties entirely;
+        // the adapter must keep pulling instead of reporting exhaustion.
+        let inner = ExhaustiveProvider::new(vec![path(0, &[1]), path(1, &[1]), path(2, &[0])])
+            .with_batch_size(1);
+        let excluded: std::collections::HashSet<LinkId> = [LinkId(1)].into_iter().collect();
+        let mut p = ExcludingProvider::new(inner, excluded);
+        let first = p.next_batch();
+        assert_eq!(first.len(), 1);
+        assert!(first[0].covers(LinkId(0)));
         assert!(p.next_batch().is_empty());
     }
 }

@@ -117,6 +117,12 @@ impl<'a> Fabric<'a> {
         self.dead_switches.insert(node);
     }
 
+    /// Brings a dead/drained switch back: packets traverse it again
+    /// (the recovery half of a drain/undrain churn cycle).
+    pub fn revive_switch(&mut self, node: NodeId) {
+        self.dead_switches.remove(&node);
+    }
+
     /// Removes all injected failures (noise remains).
     pub fn clear_failures(&mut self) {
         self.disciplines.clear();

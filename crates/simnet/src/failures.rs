@@ -15,10 +15,13 @@
 //!   losses (the hard case for Pingmesh/NetNORAD) are well represented.
 
 use detector_core::types::{LinkId, NodeId};
-use detector_topology::DcnTopology;
+use detector_topology::{pod_switches, DcnTopology, TopologyEvent};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+use crate::fabric::Fabric;
+use crate::LossDiscipline;
 
 /// What fails.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +117,112 @@ impl FailureScenario {
                 FailureKind::RandomPartial { rate } => rate,
             })
             .fold(0.0, f64::max)
+    }
+}
+
+/// A scheduled mid-run topology change: at the start of `window`, apply
+/// `event` to both the simulated fabric and the running detector so drop
+/// behaviour and re-planning stay in lockstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Window index before which the event fires.
+    pub window: u64,
+    /// What changes.
+    pub event: TopologyEvent,
+}
+
+/// A script of [`TopologyEvent`]s indexed by window — the simnet driver
+/// for churn scenarios (drains, repairs, expansions) interacting with
+/// incremental re-planning.
+///
+/// The schedule only *describes* the churn; per window the campaign loop
+/// pulls the due events, mirrors each onto the fabric with
+/// [`ChurnSchedule::apply_to_fabric`] (a downed link drops every packet,
+/// a drained switch eats traversals) and onto the detector with
+/// `Detector::apply` (which re-plans incrementally).
+///
+/// # Examples
+///
+/// ```
+/// use detector_core::types::LinkId;
+/// use detector_simnet::ChurnSchedule;
+///
+/// let churn = ChurnSchedule::drain_recover(LinkId(3), 2, 5);
+/// assert_eq!(churn.due(2).count(), 1);
+/// assert_eq!(churn.due(3).count(), 0);
+/// assert_eq!(churn.due(5).count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event firing before `window` (builder style).
+    pub fn at(mut self, window: u64, event: TopologyEvent) -> Self {
+        self.events.push(ChurnEvent { window, event });
+        self.events.sort_by_key(|e| e.window);
+        self
+    }
+
+    /// The classic drill: `link` goes down before `down_window` and is
+    /// repaired before `up_window`.
+    pub fn drain_recover(link: LinkId, down_window: u64, up_window: u64) -> Self {
+        Self::new()
+            .at(down_window, TopologyEvent::LinkDown { link })
+            .at(up_window, TopologyEvent::LinkUp { link })
+    }
+
+    /// All scheduled events, in firing order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// The events due at the start of `window`.
+    pub fn due(&self, window: u64) -> impl Iterator<Item = &TopologyEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.window == window)
+            .map(|e| &e.event)
+    }
+
+    /// Mirrors a topology event onto the simulated fabric: a downed link
+    /// drops every packet in both directions, a drained switch eats all
+    /// traversals, and the `Up`/`Undrain`/`PodAdded` counterparts restore
+    /// forwarding.
+    ///
+    /// Recovery events model *repair*: `LinkUp` sets the link fully
+    /// healthy, and `SwitchUndrain`/`PodAdded` revive dead switches —
+    /// clearing whatever failure was previously injected on the same
+    /// link or switch (by this schedule or a [`FailureScenario`]). A
+    /// scenario where a link must stay faulty through a churn cycle
+    /// should re-inject its discipline after the recovery event.
+    pub fn apply_to_fabric(fabric: &mut Fabric<'_>, event: &TopologyEvent) {
+        match event {
+            TopologyEvent::LinkDown { link } => {
+                fabric.set_discipline_both(*link, LossDiscipline::Full);
+            }
+            TopologyEvent::LinkUp { link } => {
+                fabric.set_discipline_both(*link, LossDiscipline::Healthy);
+            }
+            TopologyEvent::SwitchDrain { switch } => fabric.kill_switch(*switch),
+            TopologyEvent::SwitchUndrain { switch } => fabric.revive_switch(*switch),
+            TopologyEvent::PodDrained { pod } => {
+                for s in pod_switches(fabric.topology(), *pod) {
+                    fabric.kill_switch(s);
+                }
+            }
+            TopologyEvent::PodAdded { pod } => {
+                for s in pod_switches(fabric.topology(), *pod) {
+                    fabric.revive_switch(s);
+                }
+            }
+        }
     }
 }
 
@@ -282,6 +391,47 @@ mod tests {
             .failures
             .iter()
             .all(|f| matches!(f.target, FailureTarget::Link(_))));
+    }
+
+    #[test]
+    fn churn_events_round_trip_on_the_fabric() {
+        use rand::SeedableRng;
+        let ft = Fattree::new(4).unwrap();
+        let mut fabric = Fabric::quiet(&ft);
+        let link = ft.ea_link(0, 0, 0);
+        let route = ft.ecmp_route(ft.server(0, 0, 0), ft.server(1, 0, 0), 0);
+        assert!(route.links.contains(&link));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let flow = crate::FlowKey::udp(0, 4, 1, 2);
+
+        ChurnSchedule::apply_to_fabric(&mut fabric, &TopologyEvent::LinkDown { link });
+        assert!(!fabric.send(&route, flow, &mut rng).delivered);
+        ChurnSchedule::apply_to_fabric(&mut fabric, &TopologyEvent::LinkUp { link });
+        assert!(fabric.send(&route, flow, &mut rng).delivered);
+
+        let agg = ft.agg(0, 0);
+        assert!(route.nodes.contains(&agg));
+        ChurnSchedule::apply_to_fabric(&mut fabric, &TopologyEvent::SwitchDrain { switch: agg });
+        assert!(!fabric.send(&route, flow, &mut rng).delivered);
+        ChurnSchedule::apply_to_fabric(&mut fabric, &TopologyEvent::SwitchUndrain { switch: agg });
+        assert!(fabric.send(&route, flow, &mut rng).delivered);
+
+        ChurnSchedule::apply_to_fabric(&mut fabric, &TopologyEvent::PodDrained { pod: 0 });
+        assert!(!fabric.send(&route, flow, &mut rng).delivered);
+        ChurnSchedule::apply_to_fabric(&mut fabric, &TopologyEvent::PodAdded { pod: 0 });
+        assert!(fabric.send(&route, flow, &mut rng).delivered);
+    }
+
+    #[test]
+    fn schedule_orders_and_filters_by_window() {
+        let link = LinkId(9);
+        let churn = ChurnSchedule::new()
+            .at(5, TopologyEvent::LinkUp { link })
+            .at(2, TopologyEvent::LinkDown { link });
+        assert_eq!(churn.events()[0].window, 2);
+        let due: Vec<_> = churn.due(2).collect();
+        assert_eq!(due, vec![&TopologyEvent::LinkDown { link }]);
+        assert_eq!(churn.due(0).count(), 0);
     }
 
     #[test]

@@ -40,7 +40,8 @@ mod workload;
 
 pub use fabric::{Fabric, LinkDir, ProbeOutcome, RoundTrip};
 pub use failures::{
-    FailureGenerator, FailureKind, FailureScenario, FailureTarget, InjectedFailure,
+    ChurnEvent, ChurnSchedule, FailureGenerator, FailureKind, FailureScenario, FailureTarget,
+    InjectedFailure,
 };
 pub use flow::FlowKey;
 pub use packet::{decode_probe, encode_probe, PacketError, ProbePacket, PROBE_WIRE_SIZE};

@@ -1,12 +1,24 @@
-//! The controller: probe-matrix computation and pinglist dispatch (§3.1).
+//! The controller: incremental probe planning and pinglist dispatch
+//! (§3.1), driven by the live [`TopologyView`].
+//!
+//! Earlier revisions froze the topology at construction and forced a
+//! full PMC recompute on every change (`exclude_links` stripped paths
+//! from a pristine matrix). The controller is now an *incremental
+//! planner*: it owns a [`TopologyView`] whose [`TopologyEvent`]s produce
+//! link-state deltas, and a partitioned [`ProbePlan`] that re-solves only
+//! the subproblems the delta touches. Exclusion is just
+//! [`TopologyEvent::LinkDown`] on the delta path — the bespoke
+//! full-recompute branch is gone.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
-use detector_core::pmc::{construct, PmcError, ProbeMatrix};
+use detector_core::pmc::{PmcError, ProbeMatrix};
 use detector_core::types::{LinkId, NodeId};
-use detector_topology::{construct_symmetric, DcnTopology};
+use detector_topology::{DcnTopology, TopologyEvent, TopologyView};
 
 use crate::pinglist::{PingEntry, Pinglist};
+use crate::planner::{ProbePlan, ReplanStats, EXHAUSTIVE_LIMIT};
 use crate::{SharedTopology, SystemConfig};
 
 /// Everything the controller dispatches for one cycle.
@@ -26,95 +38,218 @@ impl Deployment {
     pub fn total_assignments(&self) -> usize {
         self.pinglists.iter().map(|p| p.num_paths()).sum()
     }
+
+    /// Carries version numbers over from a previous deployment for every
+    /// pinglist whose assignment did not change, so pingers (which cache
+    /// their bound routes by version) re-bind only the lists a re-plan
+    /// actually touched.
+    pub fn rebase_versions(&mut self, prev: &Deployment) {
+        for list in &mut self.pinglists {
+            if let Some(old) = prev.pinglists.iter().find(|l| l.pinger == list.pinger) {
+                if old.same_assignment(list) {
+                    list.version = old.version;
+                }
+            }
+        }
+    }
+}
+
+/// The outcome of applying one or more [`TopologyEvent`]s: what changed
+/// and what the incremental re-plan cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanUpdate {
+    /// The view's epoch after the event(s).
+    pub epoch: u64,
+    /// Links whose up/down state actually flipped.
+    pub links_changed: usize,
+    /// Change in the number of deployed probe paths (new − old).
+    pub probes_delta: i64,
+    /// Wall-clock time of the whole update (replan + matrix assembly),
+    /// microseconds.
+    pub replan_micros: u64,
+    /// Per-cell re-plan accounting.
+    pub stats: ReplanStats,
 }
 
 /// The logical controller.
 pub struct Controller {
-    topo: SharedTopology,
+    view: TopologyView,
     cfg: SystemConfig,
     version: u64,
     /// Below this many original paths the controller materializes the full
     /// candidate set (small testbeds); above it, the symmetry plan is used.
     exhaustive_limit: u128,
-    /// Links reported failed: removed from the routing matrix so no probe
-    /// path is scheduled across them (§6.1, footnote 4). Symmetry
-    /// computation is unaffected — it pre-runs once on the pristine
-    /// topology.
-    excluded_links: HashSet<LinkId>,
+    /// The partitioned plan, built lazily on first use.
+    plan: Option<ProbePlan>,
+    /// Cached assembly of the plan's current solutions.
+    matrix: Option<ProbeMatrix>,
 }
 
 impl Controller {
     /// A controller for `topo` with the given system configuration.
     pub fn new(topo: SharedTopology, cfg: SystemConfig) -> Self {
         Self {
-            topo,
+            view: TopologyView::new(topo),
             cfg,
             version: 0,
-            exhaustive_limit: 300_000,
-            excluded_links: HashSet::new(),
+            exhaustive_limit: EXHAUSTIVE_LIMIT,
+            plan: None,
+            matrix: None,
         }
+    }
+
+    /// Overrides the materialization threshold (tests and benches force
+    /// the symmetric planner with 0).
+    pub fn with_exhaustive_limit(mut self, limit: u128) -> Self {
+        self.exhaustive_limit = limit;
+        self
     }
 
     /// The monitored topology.
     pub fn topology(&self) -> &dyn DcnTopology {
-        self.topo.as_ref()
+        self.view.topology()
     }
 
-    /// Reports links as failed: the next deployment avoids scheduling any
-    /// probe path across them (the diagnoser keeps monitoring the rest of
-    /// the fabric while repair is under way).
-    pub fn exclude_links(&mut self, links: impl IntoIterator<Item = LinkId>) {
-        self.excluded_links.extend(links);
+    /// The live topology view (epoch, offline links, drained switches).
+    pub fn view(&self) -> &TopologyView {
+        &self.view
     }
 
-    /// Clears the failed-link set (links repaired).
-    pub fn clear_excluded_links(&mut self) {
-        self.excluded_links.clear();
+    /// The view's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
     }
 
-    /// The currently excluded links.
-    pub fn excluded_links(&self) -> &HashSet<LinkId> {
-        &self.excluded_links
+    /// Applies one topology event, incrementally patching the probe plan.
+    pub fn apply_event(&mut self, event: &TopologyEvent) -> Result<PlanUpdate, PmcError> {
+        self.apply_events(std::iter::once(*event))
     }
 
-    fn strip_excluded(&self, matrix: ProbeMatrix) -> ProbeMatrix {
-        if self.excluded_links.is_empty() {
-            return matrix;
+    /// Applies a batch of topology events as one re-plan: the view absorbs
+    /// every event first, then the merged link-state delta patches the
+    /// plan once.
+    pub fn apply_events(
+        &mut self,
+        events: impl IntoIterator<Item = TopologyEvent>,
+    ) -> Result<PlanUpdate, PmcError> {
+        let t0 = Instant::now();
+        let mut changed: HashSet<LinkId> = HashSet::new();
+        for ev in events {
+            let delta = self.view.apply(&ev);
+            // A link that flips twice within the batch nets out below via
+            // the offline-set comparison inside the plan.
+            changed.extend(delta.went_down);
+            changed.extend(delta.came_up);
         }
-        let kept: Vec<_> = matrix
-            .paths
-            .into_iter()
-            .filter(|p| !p.links().iter().any(|l| self.excluded_links.contains(l)))
-            .collect();
-        // Coverage/identifiability claims no longer hold around the dead
-        // links; report them degraded rather than stale.
-        ProbeMatrix::from_paths(matrix.num_links, kept).with_achieved(
-            detector_core::pmc::Achieved {
-                coverage: 0,
-                identifiability: 0,
-                targets_met: false,
-            },
+        let mut changed: Vec<LinkId> = changed.into_iter().collect();
+        changed.sort_unstable();
+
+        let old_paths = self.matrix.as_ref().map(|m| m.num_paths());
+        let mut stats = ReplanStats::default();
+        if !changed.is_empty() {
+            if let Some(plan) = self.plan.as_mut() {
+                match plan.apply(&changed, self.view.offline_links()) {
+                    Ok(s) => {
+                        stats = s;
+                        self.matrix = Some(plan.matrix());
+                    }
+                    Err(e) => {
+                        // The plan kept its previous consistent state
+                        // (the patch is atomic) but the view has already
+                        // advanced: drop the cached matrix so the next
+                        // compute_matrix() re-syncs instead of serving
+                        // paths over links the view knows are down.
+                        self.matrix = None;
+                        return Err(e);
+                    }
+                }
+            }
+            // With no plan yet, the first ensure_plan() builds against the
+            // already-updated view; nothing to patch.
+        }
+        let probes_delta = match (old_paths, self.matrix.as_ref()) {
+            (Some(old), Some(new)) => new.num_paths() as i64 - old as i64,
+            _ => 0,
+        };
+        Ok(PlanUpdate {
+            epoch: self.view.epoch(),
+            links_changed: changed.len(),
+            probes_delta,
+            replan_micros: t0.elapsed().as_micros() as u64,
+            stats,
+        })
+    }
+
+    /// Reports links as failed — sugar for a batch of
+    /// [`TopologyEvent::LinkDown`]s on the delta path. The next
+    /// deployment avoids scheduling any probe path across them while the
+    /// rest of the fabric stays fully planned (§6.1, footnote 4).
+    pub fn exclude_links(
+        &mut self,
+        links: impl IntoIterator<Item = LinkId>,
+    ) -> Result<PlanUpdate, PmcError> {
+        self.apply_events(
+            links
+                .into_iter()
+                .map(|link| TopologyEvent::LinkDown { link }),
         )
     }
 
-    /// Computes the probe matrix for the current topology state.
-    pub fn compute_matrix(&self) -> Result<ProbeMatrix, PmcError> {
-        if self.topo.original_path_count() <= self.exhaustive_limit {
-            // Exhaustive: drop candidates over failed links *before*
-            // selection, so the greedy still optimizes coverage and
-            // identifiability of the healthy fabric.
-            let candidates: Vec<_> = self
-                .topo
-                .enumerate_candidates()
-                .into_iter()
-                .filter(|p| !p.links().iter().any(|l| self.excluded_links.contains(l)))
-                .collect();
-            construct(self.topo.probe_links(), candidates, &self.cfg.pmc)
-        } else {
-            // Symmetric: construct on the pristine topology, then strip
-            // paths that would cross failed links.
-            Ok(self.strip_excluded(construct_symmetric(self.topo.as_ref(), &self.cfg.pmc)?))
+    /// Clears the failed-link set (links repaired): a batch of
+    /// [`TopologyEvent::LinkUp`]s, which restores cached pristine
+    /// subproblem solutions without re-solving.
+    pub fn clear_excluded_links(&mut self) -> Result<PlanUpdate, PmcError> {
+        let up: Vec<LinkId> = self.view.down_links().iter().copied().collect();
+        self.apply_events(up.into_iter().map(|link| TopologyEvent::LinkUp { link }))
+    }
+
+    /// The currently excluded (explicitly downed) links.
+    pub fn excluded_links(&self) -> &HashSet<LinkId> {
+        self.view.down_links()
+    }
+
+    fn ensure_plan(&mut self) -> Result<&ProbePlan, PmcError> {
+        if self.plan.is_none() {
+            let plan = ProbePlan::with_exhaustive_limit(
+                self.view.shared(),
+                &self.cfg.pmc,
+                self.view.offline_links(),
+                self.exhaustive_limit,
+            )?;
+            self.matrix = Some(plan.matrix());
+            self.plan = Some(plan);
         }
+        Ok(self.plan.as_ref().expect("plan built above"))
+    }
+
+    /// The probe matrix for the current topology state (incrementally
+    /// maintained; cached between changes). If a previous
+    /// [`Controller::apply_events`] failed mid-patch, this re-syncs the
+    /// plan to the view first (the plan diffs the offline sets itself).
+    pub fn compute_matrix(&mut self) -> Result<ProbeMatrix, PmcError> {
+        self.ensure_plan()?;
+        if self.matrix.is_none() {
+            let plan = self.plan.as_mut().expect("plan ensured above");
+            plan.apply(&[], self.view.offline_links())?;
+            self.matrix = Some(plan.matrix());
+        }
+        Ok(self.matrix.clone().expect("matrix assembled above"))
+    }
+
+    /// Recomputes the probe matrix from scratch for the *current* view
+    /// state, ignoring the incremental plan. This is the equivalence
+    /// oracle for the incremental path (and the "full recompute" arm of
+    /// the `replan_latency` bench): by construction it runs the identical
+    /// deterministic per-subproblem procedure, so its result must equal
+    /// [`Controller::compute_matrix`] after any event sequence.
+    pub fn compute_matrix_from_scratch(&self) -> Result<ProbeMatrix, PmcError> {
+        let plan = ProbePlan::with_exhaustive_limit(
+            self.view.shared(),
+            &self.cfg.pmc,
+            self.view.offline_links(),
+            self.exhaustive_limit,
+        )?;
+        Ok(plan.matrix())
     }
 
     /// Computes the matrix and builds pinglists, excluding unhealthy
@@ -137,7 +272,8 @@ impl Controller {
     /// per path (fault tolerance), plus in-rack probes covering
     /// server–ToR links.
     fn assign(&self, matrix: &ProbeMatrix, unhealthy: &HashSet<NodeId>) -> Vec<Pinglist> {
-        let graph = self.topo.graph();
+        let graph = self.view.topology().graph();
+        let offline = self.view.offline_links();
         let interval_us = (1_000_000.0 / self.cfg.probe_rate_pps) as u64;
 
         // Pingers per ToR (probe endpoints are ToRs for Fattree/VL2). For
@@ -161,6 +297,18 @@ impl Controller {
             })
         };
 
+        // A server can serve as pinger or responder only when it is
+        // healthy and its access link is up (its ToR may be drained).
+        let usable = |server: NodeId| -> bool {
+            if unhealthy.contains(&server) {
+                return false;
+            }
+            graph
+                .switch_of(server)
+                .and_then(|tor| graph.link_between(server, tor))
+                .is_none_or(|l| !offline.contains(&l))
+        };
+
         for path in &matrix.paths {
             let nodes = path.nodes();
             if nodes.is_empty() {
@@ -179,7 +327,7 @@ impl Controller {
                 let pingers: Vec<NodeId> = graph
                     .servers_under(first)
                     .into_iter()
-                    .filter(|s| !unhealthy.contains(s))
+                    .filter(|&s| usable(s))
                     .take(self.cfg.pingers_per_tor)
                     .collect();
                 if pingers.is_empty() {
@@ -188,7 +336,7 @@ impl Controller {
                 let responders: Vec<NodeId> = graph
                     .servers_under(last)
                     .into_iter()
-                    .filter(|s| !unhealthy.contains(s))
+                    .filter(|&s| usable(s))
                     .collect();
                 let Some(&responder) = responders.get(path.id.index() % responders.len().max(1))
                 else {
@@ -215,7 +363,7 @@ impl Controller {
                 }
             } else {
                 // Server-based endpoints (BCube): the first server pings.
-                if unhealthy.contains(&first) {
+                if !usable(first) {
                     continue;
                 }
                 let li = list_for(first, &mut lists);
@@ -236,7 +384,7 @@ impl Controller {
                 continue;
             };
             for peer in graph.servers_under(tor) {
-                if peer == pinger || unhealthy.contains(&peer) {
+                if peer == pinger || !usable(peer) {
                     continue;
                 }
                 list.entries.push(PingEntry {
@@ -334,7 +482,7 @@ mod tests {
         let ft = Arc::new(Fattree::new(4).unwrap());
         let mut ctl = Controller::new(ft.clone(), SystemConfig::default());
         let dead = ft.ac_link(0, 0, 0);
-        ctl.exclude_links([dead]);
+        ctl.exclude_links([dead]).unwrap();
         let d = ctl.build_deployment(&HashSet::new()).unwrap();
         for p in &d.matrix.paths {
             assert!(!p.covers(dead), "path {} crosses the dead link", p.id);
@@ -345,6 +493,76 @@ mod tests {
         assert!(d.matrix.num_paths() > 0);
         let healthy = ft.ac_link(1, 0, 0);
         assert!(d.matrix.paths.iter().any(|p| p.covers(healthy)));
+    }
+
+    #[test]
+    fn exclusion_rides_the_delta_path() {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut ctl = Controller::new(ft.clone(), SystemConfig::default());
+        // Build first so exclusion exercises the incremental patch.
+        ctl.build_deployment(&HashSet::new()).unwrap();
+        let dead = ft.ea_link(2, 1, 0);
+        let up = ctl.exclude_links([dead]).unwrap();
+        assert_eq!(up.epoch, 1);
+        assert_eq!(up.links_changed, 1);
+        assert_eq!(up.stats.cells_resolved, 1);
+        assert_eq!(up.stats.cells_total, 2);
+
+        // Clearing restores the pristine plan without re-solving.
+        let up = ctl.clear_excluded_links().unwrap();
+        assert_eq!(up.epoch, 2);
+        assert_eq!(up.stats.cells_restored, 1);
+        assert_eq!(up.stats.cells_resolved, 0);
+        assert!(ctl.excluded_links().is_empty());
+    }
+
+    #[test]
+    fn incremental_matrix_equals_from_scratch_after_events() {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut ctl = Controller::new(ft.clone(), SystemConfig::default());
+        ctl.build_deployment(&HashSet::new()).unwrap();
+        ctl.apply_event(&TopologyEvent::SwitchDrain {
+            switch: ft.agg(1, 1),
+        })
+        .unwrap();
+        ctl.apply_event(&TopologyEvent::LinkDown {
+            link: ft.ea_link(0, 0, 0),
+        })
+        .unwrap();
+        let patched = ctl.compute_matrix().unwrap();
+        let scratch = ctl.compute_matrix_from_scratch().unwrap();
+        assert_eq!(patched.paths, scratch.paths);
+        assert_eq!(patched.achieved, scratch.achieved);
+        assert_eq!(patched.uncoverable, scratch.uncoverable);
+    }
+
+    #[test]
+    fn drained_tor_fields_no_pingers() {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut ctl = Controller::new(ft.clone(), SystemConfig::default());
+        let tor = ft.edge(0, 0);
+        ctl.apply_event(&TopologyEvent::SwitchDrain { switch: tor })
+            .unwrap();
+        let d = ctl.build_deployment(&HashSet::new()).unwrap();
+        for l in &d.pinglists {
+            assert_ne!(ft.graph().switch_of(l.pinger), Some(tor));
+            for e in &l.entries {
+                assert!(!e.route.contains(&tor), "route crosses drained ToR");
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_keeps_versions_of_unchanged_lists() {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut ctl = Controller::new(ft, SystemConfig::default());
+        let d1 = ctl.build_deployment(&HashSet::new()).unwrap();
+        let mut d2 = ctl.build_deployment(&HashSet::new()).unwrap();
+        assert!(d2.pinglists.iter().all(|l| l.version == d2.version));
+        d2.rebase_versions(&d1);
+        // Nothing changed between the cycles, so every list keeps its
+        // original version.
+        assert!(d2.pinglists.iter().all(|l| l.version == d1.version));
     }
 
     #[test]

@@ -101,6 +101,19 @@ pub enum RuntimeEvent {
     /// The diagnoser ran PLL over the window's aggregated observations.
     /// Always the last event of a window.
     DiagnosisReady(WindowResult),
+    /// A [`TopologyEvent`](detector_topology::TopologyEvent) was applied
+    /// between windows and the probe plan was incrementally patched
+    /// ([`Detector::apply`](crate::Detector::apply)).
+    PlanUpdated {
+        /// Topology-view epoch after the event.
+        epoch: u64,
+        /// Links whose up/down state actually flipped.
+        links_changed: usize,
+        /// Change in the number of deployed probe paths (new − old).
+        probes_delta: i64,
+        /// Wall-clock cost of the incremental re-plan, microseconds.
+        replan_micros: u64,
+    },
 }
 
 impl ToJson for RuntimeEvent {
@@ -145,6 +158,55 @@ impl ToJson for RuntimeEvent {
                 }
                 Json::Object(fields)
             }
+            RuntimeEvent::PlanUpdated {
+                epoch,
+                links_changed,
+                probes_delta,
+                replan_micros,
+            } => Json::obj(vec![
+                ("event", Json::Str("plan_updated".into())),
+                ("epoch", Json::uint(*epoch)),
+                ("links_changed", Json::uint(*links_changed as u64)),
+                ("probes_delta", Json::Int(*probes_delta)),
+                ("replan_micros", Json::uint(*replan_micros)),
+            ]),
+        }
+    }
+}
+
+impl RuntimeEvent {
+    /// Rebuilds an event from its [`ToJson`] representation (the inverse
+    /// of [`ToJson::to_json`]; every variant round-trips).
+    pub fn from_json(v: &Json) -> Option<RuntimeEvent> {
+        let window = || v.get("window").and_then(Json::as_u64);
+        match v.get("event")?.as_str()? {
+            "window_started" => Some(RuntimeEvent::WindowStarted {
+                window: window()?,
+                start_s: v.get("start_s")?.as_u64()?,
+            }),
+            "cycle_refreshed" => Some(RuntimeEvent::CycleRefreshed {
+                window: window()?,
+                version: v.get("version")?.as_u64()?,
+                num_paths: v.get("num_paths")?.as_usize()?,
+            }),
+            "pinger_unhealthy" => Some(RuntimeEvent::PingerUnhealthy {
+                window: window()?,
+                pinger: NodeId(v.get("pinger")?.as_u32()?),
+            }),
+            "report_ingested" => Some(RuntimeEvent::ReportIngested {
+                window: window()?,
+                pinger: NodeId(v.get("pinger")?.as_u32()?),
+                probes_sent: v.get("probes_sent")?.as_u64()?,
+                num_paths: v.get("num_paths")?.as_usize()?,
+            }),
+            "diagnosis_ready" => Some(RuntimeEvent::DiagnosisReady(WindowResult::from_json(v)?)),
+            "plan_updated" => Some(RuntimeEvent::PlanUpdated {
+                epoch: v.get("epoch")?.as_u64()?,
+                links_changed: v.get("links_changed")?.as_usize()?,
+                probes_delta: v.get("probes_delta")?.as_i64()?,
+                replan_micros: v.get("replan_micros")?.as_u64()?,
+            }),
+            _ => None,
         }
     }
 }
@@ -271,6 +333,44 @@ mod tests {
         });
         assert_eq!(collector.len(), 1);
         assert!(!collector.is_empty());
+    }
+
+    #[test]
+    fn runtime_events_round_trip_through_json() {
+        let cases = vec![
+            RuntimeEvent::WindowStarted {
+                window: 3,
+                start_s: 90,
+            },
+            RuntimeEvent::CycleRefreshed {
+                window: 20,
+                version: 2,
+                num_paths: 64,
+            },
+            RuntimeEvent::PingerUnhealthy {
+                window: 5,
+                pinger: detector_core::types::NodeId(17),
+            },
+            RuntimeEvent::ReportIngested {
+                window: 5,
+                pinger: detector_core::types::NodeId(17),
+                probes_sent: 960,
+                num_paths: 12,
+            },
+            RuntimeEvent::DiagnosisReady(sample_result()),
+            RuntimeEvent::PlanUpdated {
+                epoch: 7,
+                links_changed: 4,
+                probes_delta: -3,
+                replan_micros: 1250,
+            },
+        ];
+        for ev in cases {
+            let text = ev.to_json().to_string();
+            let parsed = RuntimeEvent::from_json(&Json::parse(&text).unwrap())
+                .unwrap_or_else(|| panic!("unparsed: {text}"));
+            assert_eq!(parsed, ev);
+        }
     }
 
     #[test]

@@ -60,36 +60,34 @@ mod diagnoser;
 mod events;
 mod pinger;
 mod pinglist;
+mod planner;
 mod report;
 mod responder;
 mod runtime;
 mod watchdog;
 
 use std::fmt;
-use std::sync::Arc;
 
 pub use clock::SimClock;
-pub use controller::{Controller, Deployment};
+pub use controller::{Controller, Deployment, PlanUpdate};
 pub use dataplane::{DataPlane, ProbeOutcome};
 pub use diagnoser::{Diagnoser, DiagnosisEvent};
 pub use events::{CollectingSink, EventSink, JsonLinesSink, RuntimeEvent, WindowResult};
 pub use pinger::{Pinger, PingerCostModel};
 pub use pinglist::{PingEntry, Pinglist};
+pub use planner::{ProbePlan, ReplanStats, EXHAUSTIVE_LIMIT};
 pub use report::{PathCounters, PingerReport, ReportStore};
 pub use responder::Responder;
 pub use runtime::{BuildError, Detector, DetectorBuilder};
 pub use watchdog::Watchdog;
 
+// The live-topology surface lives in `detector-topology`; re-exported
+// here because the runtime's `Detector::apply` seam is where most callers
+// meet it.
+pub use detector_topology::{SharedTopology, TopologyDelta, TopologyEvent, TopologyView};
+
 use detector_core::pll::PllConfig;
 use detector_core::pmc::PmcConfig;
-use detector_topology::DcnTopology;
-
-/// A shared, thread-safe handle to a monitored topology.
-///
-/// The runtime owns its topology (no more `Box::leak` lifetime hacks in
-/// callers) and shares it with the controller; `Send + Sync` keeps the
-/// door open for the ROADMAP's async/overlapping-window scheduler.
-pub type SharedTopology = Arc<dyn DcnTopology + Send + Sync>;
 
 /// Deployment-wide configuration (§6.1 defaults).
 #[derive(Clone, Debug)]

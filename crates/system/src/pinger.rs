@@ -43,6 +43,13 @@ impl Pinger {
         self.list.pinger
     }
 
+    /// The version of the bound pinglist. The runtime re-binds a pinger
+    /// only when the dispatched list carries a newer version (an
+    /// incremental re-plan leaves untouched lists at their old version).
+    pub fn version(&self) -> u64 {
+        self.list.version
+    }
+
     /// Number of bound entries.
     pub fn num_entries(&self) -> usize {
         self.list.entries.len()

@@ -48,6 +48,19 @@ impl Pinglist {
     pub fn num_paths(&self) -> usize {
         self.entries.iter().filter(|e| e.path.is_some()).count()
     }
+
+    /// True when the two lists assign the same probing work (everything
+    /// but the version). A re-plan that leaves a pinger's assignment
+    /// untouched keeps the old version, so the pinger's cached route
+    /// bindings stay valid.
+    pub fn same_assignment(&self, other: &Pinglist) -> bool {
+        self.pinger == other.pinger
+            && self.entries == other.entries
+            && self.interval_us == other.interval_us
+            && self.base_sport == other.base_sport
+            && self.port_range == other.port_range
+            && self.dport == other.dport
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,651 @@
+//! The incremental probe planner: a partitioned, patchable probe plan.
+//!
+//! [`ProbePlan`] keeps the probe matrix *decomposed* — one [`PlanCell`]
+//! per independent PMC subproblem (Observation 1 of §4.3), each holding
+//! its link universe, its candidate source and its current solution.
+//! When the live topology changes, [`ProbePlan::apply`] re-solves only
+//! the cells whose universes intersect the delta and splices the result
+//! back, instead of recomputing the whole matrix the way the paper's
+//! controller does on its 10-minute cycle.
+//!
+//! Two candidate-source modes mirror the controller's former split:
+//!
+//! * **materialized** — small topologies enumerate every candidate once;
+//!   cells own their slice of the pristine candidate set and re-solve via
+//!   [`resolve_subproblem`] with the offline links excluded;
+//! * **symmetric** — large topologies never materialize candidates. One
+//!   pristine base solution per isomorphism class is replicated to every
+//!   component; an affected component maps its offline links back into
+//!   base coordinates through [`BaseComponent::replicate_link`], wraps a
+//!   fresh base provider in an [`ExcludingProvider`], re-solves, and
+//!   replicates the restricted solution to its own coordinates only.
+//!
+//! In both modes a cell whose exclusions return to empty restores its
+//! cached pristine solution without solving anything, so drain/undrain
+//! cycles cost one re-solve on the way down and nothing on the way up.
+//!
+//! Determinism makes incremental and from-scratch planning agree exactly:
+//! a patched plan and a fresh [`ProbePlan::new`] over the same offline
+//! set run the identical per-cell procedure, so their matrices are equal
+//! path for path (asserted by the `live_topology` property tests).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use detector_core::pmc::{
+    construct_decomposed_parallel, construct_with_provider, decompose, resolve_subproblem,
+    Achieved, ExcludingProvider, PmcConfig, PmcError, ProbeMatrix, SubSolution, Subproblem,
+};
+use detector_core::types::{LinkId, ProbePath};
+use detector_topology::{BaseComponent, SharedTopology};
+
+/// Below this many original paths the planner materializes the full
+/// candidate set; above it, the symmetry plan is used (same threshold the
+/// controller has always applied).
+pub const EXHAUSTIVE_LIMIT: u128 = 300_000;
+
+/// Where a cell's candidates come from when it must be re-solved.
+#[derive(Clone, Debug)]
+enum CellSource {
+    /// The cell's pristine candidate slice, fully materialized.
+    Materialized(Vec<ProbePath>),
+    /// Replica `replica` of symmetry base `base`: candidates are pulled
+    /// from a fresh base provider and re-homed on demand.
+    Replica {
+        base: usize,
+        replica: u32,
+        /// Replica-universe link → base-universe link.
+        to_base: HashMap<LinkId, LinkId>,
+    },
+}
+
+/// One independent subproblem of the partitioned plan.
+#[derive(Clone, Debug)]
+struct PlanCell {
+    /// Sorted link universe (in final/replica coordinates).
+    universe: Vec<LinkId>,
+    /// Sorted offline links currently excluded from this cell.
+    excluded: Vec<LinkId>,
+    source: CellSource,
+    /// Current solution, paths in final coordinates.
+    solution: SubSolution,
+    /// Cached pristine (no-exclusion) solution for O(1) restore; filled
+    /// lazily for cells that were born with exclusions.
+    pristine: Option<SubSolution>,
+}
+
+impl PlanCell {
+    fn intersects(&self, links: &[LinkId]) -> bool {
+        links.iter().any(|l| self.universe.binary_search(l).is_ok())
+    }
+}
+
+/// What one [`ProbePlan::apply`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplanStats {
+    /// Cells re-solved from their candidate source.
+    pub cells_resolved: usize,
+    /// Cells restored from their cached pristine solution (no solving).
+    pub cells_restored: usize,
+    /// Total cells in the plan.
+    pub cells_total: usize,
+    /// Wall-clock time of the patch, microseconds.
+    pub replan_micros: u64,
+}
+
+/// A partitioned, incrementally patchable probe plan.
+#[derive(Clone)]
+pub struct ProbePlan {
+    topo: SharedTopology,
+    cfg: PmcConfig,
+    num_links: usize,
+    cells: Vec<PlanCell>,
+    /// Offline probe links currently applied to the plan.
+    offline: HashSet<LinkId>,
+}
+
+impl ProbePlan {
+    /// Builds a plan for `topo` with `offline` links excluded from the
+    /// start, choosing materialized vs symmetric mode by
+    /// [`EXHAUSTIVE_LIMIT`].
+    pub fn new(
+        topo: SharedTopology,
+        cfg: &PmcConfig,
+        offline: &HashSet<LinkId>,
+    ) -> Result<Self, PmcError> {
+        Self::with_exhaustive_limit(topo, cfg, offline, EXHAUSTIVE_LIMIT)
+    }
+
+    /// [`ProbePlan::new`] with an explicit materialization threshold
+    /// (tests and benches use 0 to force the symmetric path).
+    pub fn with_exhaustive_limit(
+        topo: SharedTopology,
+        cfg: &PmcConfig,
+        offline: &HashSet<LinkId>,
+        exhaustive_limit: u128,
+    ) -> Result<Self, PmcError> {
+        let num_links = topo.probe_links();
+        let offline: HashSet<LinkId> = offline
+            .iter()
+            .copied()
+            .filter(|l| l.index() < num_links)
+            .collect();
+        let cells = if topo.original_path_count() <= exhaustive_limit {
+            Self::build_materialized(&topo, cfg, &offline)?
+        } else {
+            Self::build_symmetric(&topo, cfg, &offline)?
+        };
+        Ok(Self {
+            topo,
+            cfg: cfg.clone(),
+            num_links,
+            cells,
+            offline,
+        })
+    }
+
+    fn build_materialized(
+        topo: &SharedTopology,
+        cfg: &PmcConfig,
+        offline: &HashSet<LinkId>,
+    ) -> Result<Vec<PlanCell>, PmcError> {
+        // Decompose the *pristine* candidate set so the cell partition is
+        // independent of the current exclusions (a mutated topology could
+        // otherwise split components and break incremental/from-scratch
+        // agreement). `cfg.decompose == false` keeps the single-cell
+        // monolith, exactly like `construct`'s strawman path.
+        let candidates = topo.enumerate_candidates();
+        let subproblems = if cfg.decompose {
+            decompose(candidates)
+        } else {
+            vec![Subproblem::whole(candidates)]
+        };
+
+        // Restricted copies feed the solvers; the pristine candidates stay
+        // in the cells for future re-solves. The parallel driver returns
+        // solutions in subproblem order and each cell's solve is
+        // deterministic, so this path is observably identical to the
+        // sequential one (and to a later incremental re-solve of the same
+        // restricted cell).
+        let solutions: Vec<SubSolution> = if cfg.parallel && subproblems.len() > 1 {
+            let deadline = cfg.timeout.map(|t| Instant::now() + t);
+            let restricted: Vec<Subproblem> = subproblems
+                .iter()
+                .map(|sp| Subproblem {
+                    universe: sp
+                        .universe
+                        .iter()
+                        .copied()
+                        .filter(|l| !offline.contains(l))
+                        .collect(),
+                    candidates: sp
+                        .candidates
+                        .iter()
+                        .filter(|p| !p.links().iter().any(|l| offline.contains(l)))
+                        .cloned()
+                        .collect(),
+                })
+                .collect();
+            construct_decomposed_parallel(restricted, cfg, deadline)?
+        } else {
+            let mut out = Vec::with_capacity(subproblems.len());
+            for sp in &subproblems {
+                // Membership tests only, so the full offline set stands in
+                // for its intersection with the cell universe.
+                out.push(resolve_subproblem(
+                    &sp.universe,
+                    &sp.candidates,
+                    offline,
+                    cfg,
+                )?);
+            }
+            out
+        };
+
+        let mut cells = Vec::with_capacity(subproblems.len());
+        for (sp, solution) in subproblems.into_iter().zip(solutions) {
+            let excluded = cell_exclusions(&sp.universe, offline);
+            let pristine = excluded.is_empty().then(|| solution.clone());
+            cells.push(PlanCell {
+                universe: sp.universe,
+                excluded,
+                source: CellSource::Materialized(sp.candidates),
+                solution,
+                pristine,
+            });
+        }
+        Ok(cells)
+    }
+
+    fn build_symmetric(
+        topo: &SharedTopology,
+        cfg: &PmcConfig,
+        offline: &HashSet<LinkId>,
+    ) -> Result<Vec<PlanCell>, PmcError> {
+        let plan = topo.symmetry();
+        let mut cells = Vec::new();
+        for (bi, base) in plan.bases.into_iter().enumerate() {
+            let BaseComponent {
+                provider,
+                replicas,
+                replicate,
+                replicate_link,
+            } = base;
+            let base_universe = provider.universe().to_vec();
+
+            // Per-replica universes and exclusion sets.
+            let mut metas = Vec::with_capacity(replicas as usize);
+            let mut any_pristine = false;
+            for r in 0..replicas {
+                let mut universe: Vec<LinkId> = base_universe
+                    .iter()
+                    .map(|&l| replicate_link(l, r))
+                    .collect();
+                let to_base: HashMap<LinkId, LinkId> = universe
+                    .iter()
+                    .copied()
+                    .zip(base_universe.iter().copied())
+                    .collect();
+                universe.sort_unstable();
+                let excluded = cell_exclusions(&universe, offline);
+                any_pristine |= excluded.is_empty();
+                metas.push((universe, to_base, excluded));
+            }
+
+            // One pristine base solve, shared by every unaffected replica
+            // (skipped entirely when all replicas carry exclusions).
+            let pristine_base = if any_pristine {
+                Some(construct_with_provider(provider, cfg)?)
+            } else {
+                None
+            };
+
+            for (r, (universe, to_base, excluded)) in metas.into_iter().enumerate() {
+                let r = r as u32;
+                let solution = if excluded.is_empty() {
+                    let base_sol = pristine_base.as_ref().expect("pristine solved above");
+                    replicate_solution(base_sol, r, &replicate)
+                } else {
+                    resolve_replica(topo, cfg, bi, r, &to_base, &excluded)?
+                };
+                let pristine = excluded.is_empty().then(|| solution.clone());
+                cells.push(PlanCell {
+                    universe,
+                    excluded,
+                    source: CellSource::Replica {
+                        base: bi,
+                        replica: r,
+                        to_base,
+                    },
+                    solution,
+                    pristine,
+                });
+            }
+        }
+        Ok(cells)
+    }
+
+    /// The size of the probe-link universe this plan covers.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Number of independent cells (subproblems) in the plan.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The offline links currently applied.
+    pub fn offline(&self) -> &HashSet<LinkId> {
+        &self.offline
+    }
+
+    /// Patches the plan for a topology delta: `changed` are the links
+    /// whose up/down state flipped, `offline` the complete offline set
+    /// after the change. Only cells whose universes intersect the change
+    /// are touched; a cell whose exclusions empty out restores its cached
+    /// pristine solution without solving.
+    ///
+    /// The patch is atomic: every affected cell is re-solved first and
+    /// the plan mutates only after all succeed, so an error (e.g.
+    /// [`PmcError::Timeout`] under a configured budget) leaves the plan
+    /// in its previous consistent state. `changed` is a hint — the plan
+    /// additionally diffs `offline` against its own applied set, so a
+    /// retry after a failed patch re-covers the links the failed call
+    /// never committed.
+    pub fn apply(
+        &mut self,
+        changed: &[LinkId],
+        offline: &HashSet<LinkId>,
+    ) -> Result<ReplanStats, PmcError> {
+        let t0 = Instant::now();
+        let mut stats = ReplanStats {
+            cells_total: self.cells.len(),
+            ..Default::default()
+        };
+        let offline: HashSet<LinkId> = offline
+            .iter()
+            .copied()
+            .filter(|l| l.index() < self.num_links)
+            .collect();
+        // The caller's delta, plus anything the applied set disagrees on
+        // (non-empty only after a previous apply() failed mid-flight).
+        let mut all_changed: Vec<LinkId> = changed
+            .iter()
+            .copied()
+            .chain(offline.symmetric_difference(&self.offline).copied())
+            .collect();
+        all_changed.sort_unstable();
+        all_changed.dedup();
+
+        // Phase 1: compute every affected cell's new state, touching
+        // nothing. `None` marks a pristine-cache restore.
+        let mut patches: Vec<(usize, Vec<LinkId>, Option<SubSolution>)> = Vec::new();
+        for (ci, cell) in self.cells.iter().enumerate() {
+            if !cell.intersects(&all_changed) {
+                continue;
+            }
+            let new_excluded = cell_exclusions(&cell.universe, &offline);
+            if new_excluded == cell.excluded {
+                continue;
+            }
+            if new_excluded.is_empty() && cell.pristine.is_some() {
+                patches.push((ci, new_excluded, None));
+                stats.cells_restored += 1;
+                continue;
+            }
+            let solution = self.resolve_cell(ci, &new_excluded)?;
+            patches.push((ci, new_excluded, Some(solution)));
+            stats.cells_resolved += 1;
+        }
+
+        // Phase 2: commit.
+        self.offline = offline;
+        for (ci, new_excluded, solution) in patches {
+            let cell = &mut self.cells[ci];
+            let solution = match solution {
+                Some(s) => s,
+                None => cell.pristine.clone().expect("checked in phase 1"),
+            };
+            if new_excluded.is_empty() && cell.pristine.is_none() {
+                cell.pristine = Some(solution.clone());
+            }
+            cell.excluded = new_excluded;
+            cell.solution = solution;
+        }
+        stats.replan_micros = t0.elapsed().as_micros() as u64;
+        Ok(stats)
+    }
+
+    /// Re-solves one cell against an exclusion set (does not mutate the
+    /// cell; the caller splices the result).
+    fn resolve_cell(&self, ci: usize, excluded: &[LinkId]) -> Result<SubSolution, PmcError> {
+        let cell = &self.cells[ci];
+        let excluded_set: HashSet<LinkId> = excluded.iter().copied().collect();
+        match &cell.source {
+            CellSource::Materialized(candidates) => {
+                resolve_subproblem(&cell.universe, candidates, &excluded_set, &self.cfg)
+            }
+            CellSource::Replica {
+                base,
+                replica,
+                to_base,
+            } => resolve_replica(&self.topo, &self.cfg, *base, *replica, to_base, excluded),
+        }
+    }
+
+    /// Assembles the current per-cell solutions into a dense probe
+    /// matrix. Offline links appear in [`ProbeMatrix::uncoverable`] (no
+    /// selected path crosses them), and the achieved targets are the
+    /// conjunction over cells.
+    pub fn matrix(&self) -> ProbeMatrix {
+        let total: usize = self.cells.iter().map(|c| c.solution.paths.len()).sum();
+        let mut paths = Vec::with_capacity(total);
+        let mut targets_met = true;
+        let mut coverage = u32::MAX;
+        for cell in &self.cells {
+            targets_met &= cell.solution.targets_met;
+            coverage = coverage.min(cell.solution.coverage);
+            paths.extend(cell.solution.paths.iter().cloned());
+        }
+        if coverage == u32::MAX {
+            coverage = 0;
+        }
+        let matrix = ProbeMatrix::from_paths(self.num_links, paths);
+        let targets_met = targets_met && matrix.uncoverable.is_empty();
+        let achieved = Achieved {
+            coverage,
+            identifiability: if targets_met { self.cfg.beta } else { 0 },
+            targets_met,
+        };
+        matrix.with_achieved(achieved)
+    }
+}
+
+impl core::fmt::Debug for ProbePlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProbePlan")
+            .field("topology", &self.topo.name())
+            .field("num_links", &self.num_links)
+            .field("cells", &self.cells.len())
+            .field("offline", &self.offline.len())
+            .finish()
+    }
+}
+
+/// The sorted intersection of a cell universe with the offline set.
+fn cell_exclusions(universe: &[LinkId], offline: &HashSet<LinkId>) -> Vec<LinkId> {
+    universe
+        .iter()
+        .copied()
+        .filter(|l| offline.contains(l))
+        .collect()
+}
+
+/// Re-homes a base solution onto replica `r`.
+fn replicate_solution(
+    base: &SubSolution,
+    r: u32,
+    replicate: &dyn Fn(&ProbePath, u32) -> ProbePath,
+) -> SubSolution {
+    SubSolution {
+        paths: base.paths.iter().map(|p| replicate(p, r)).collect(),
+        targets_met: base.targets_met,
+        coverage: base.coverage,
+        cells: base.cells,
+    }
+}
+
+/// Re-solves replica `replica` of symmetry base `base_idx` with
+/// exclusions: pull the excluded links back into base coordinates, solve
+/// a fresh excluded base provider, and replicate the restricted solution
+/// out to the replica.
+fn resolve_replica(
+    topo: &SharedTopology,
+    cfg: &PmcConfig,
+    base_idx: usize,
+    replica: u32,
+    to_base: &HashMap<LinkId, LinkId>,
+    excluded: &[LinkId],
+) -> Result<SubSolution, PmcError> {
+    let base = topo
+        .symmetry()
+        .bases
+        .into_iter()
+        .nth(base_idx)
+        .expect("symmetry plan must be stable across calls");
+    let excluded_base: HashSet<LinkId> = excluded
+        .iter()
+        .map(|l| *to_base.get(l).expect("excluded link must be in the cell"))
+        .collect();
+    let sol = construct_with_provider(ExcludingProvider::new(base.provider, excluded_base), cfg)?;
+    Ok(replicate_solution(&sol, replica, &base.replicate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_topology::{DcnTopology, Fattree, TopologyEvent, TopologyView};
+    use std::sync::Arc;
+
+    fn shared(k: u32) -> SharedTopology {
+        Arc::new(Fattree::new(k).unwrap())
+    }
+
+    fn assert_matrices_equal(a: &ProbeMatrix, b: &ProbeMatrix) {
+        assert_eq!(a.num_links, b.num_links);
+        assert_eq!(a.achieved, b.achieved);
+        assert_eq!(a.uncoverable, b.uncoverable);
+        assert_eq!(a.paths.len(), b.paths.len());
+        for (pa, pb) in a.paths.iter().zip(&b.paths) {
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn pristine_plan_matches_controller_scale_matrix() {
+        let topo = shared(4);
+        let plan =
+            ProbePlan::new(topo.clone(), &PmcConfig::identifiable(1), &HashSet::new()).unwrap();
+        let m = plan.matrix();
+        assert!(m.achieved.targets_met);
+        assert!(m.uncoverable.is_empty());
+        // The 4-ary Fattree decomposes into h = 2 components.
+        assert_eq!(plan.num_cells(), 2);
+    }
+
+    #[test]
+    fn patched_equals_from_scratch_materialized() {
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(1, 0, 1);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+
+        let mut patched = ProbePlan::new(topo.clone(), &cfg, &HashSet::new()).unwrap();
+        let stats = patched.apply(&[dead], &offline).unwrap();
+        assert_eq!(stats.cells_resolved, 1);
+
+        let scratch = ProbePlan::new(topo, &cfg, &offline).unwrap();
+        assert_matrices_equal(&patched.matrix(), &scratch.matrix());
+        assert!(patched.matrix().uncoverable.contains(&dead));
+    }
+
+    #[test]
+    fn patched_equals_from_scratch_symmetric() {
+        let topo = shared(6);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(6).unwrap();
+        let dead = ft.ac_link(2, 1, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+
+        // Limit 0 forces the symmetric path even on this small instance.
+        let mut patched =
+            ProbePlan::with_exhaustive_limit(topo.clone(), &cfg, &HashSet::new(), 0).unwrap();
+        assert_eq!(patched.num_cells(), 3); // h = 3 groups.
+        let stats = patched.apply(&[dead], &offline).unwrap();
+        assert_eq!(stats.cells_resolved, 1);
+
+        let scratch = ProbePlan::with_exhaustive_limit(topo, &cfg, &offline, 0).unwrap();
+        assert_matrices_equal(&patched.matrix(), &scratch.matrix());
+    }
+
+    #[test]
+    fn link_up_restores_the_pristine_solution_without_solving() {
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(0, 0, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+
+        let mut plan = ProbePlan::new(topo, &cfg, &HashSet::new()).unwrap();
+        let before = plan.matrix();
+        plan.apply(&[dead], &offline).unwrap();
+        let stats = plan.apply(&[dead], &HashSet::new()).unwrap();
+        assert_eq!(stats.cells_restored, 1);
+        assert_eq!(stats.cells_resolved, 0);
+        assert_matrices_equal(&plan.matrix(), &before);
+    }
+
+    #[test]
+    fn unrelated_cells_are_untouched() {
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        // Group-0 and group-1 links live in different cells.
+        let g0 = ft.ea_link(0, 0, 0);
+        let g1 = ft.ea_link(0, 0, 1);
+        let mut plan = ProbePlan::new(topo, &cfg, &HashSet::new()).unwrap();
+        let offline: HashSet<LinkId> = [g0].into_iter().collect();
+        let s = plan.apply(&[g0], &offline).unwrap();
+        assert_eq!(s.cells_resolved + s.cells_restored, 1);
+        // Paths through the other group survive verbatim.
+        assert!(plan.matrix().paths.iter().any(|p| p.covers(g1)));
+    }
+
+    #[test]
+    fn strawman_config_keeps_a_single_cell() {
+        // `decompose == false` (PmcConfig::strawman) must solve the whole
+        // problem monolithically, like `construct`'s strawman branch —
+        // and the delta path still works on the single cell.
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1).strawman();
+        let mut plan = ProbePlan::new(topo.clone(), &cfg, &HashSet::new()).unwrap();
+        assert_eq!(plan.num_cells(), 1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(0, 0, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+        let stats = plan.apply(&[dead], &offline).unwrap();
+        assert_eq!(stats.cells_resolved, 1);
+        let scratch = ProbePlan::new(topo, &cfg, &offline).unwrap();
+        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+    }
+
+    #[test]
+    fn apply_heals_from_a_stale_changed_hint() {
+        // The `changed` parameter is only a hint: the plan also diffs the
+        // offline set against its own applied state, so a caller whose
+        // previous patch failed mid-flight (or who passes no delta at
+        // all) still converges to the correct plan.
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(1, 1, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+
+        let mut plan = ProbePlan::new(topo.clone(), &cfg, &HashSet::new()).unwrap();
+        let stats = plan.apply(&[], &offline).unwrap();
+        assert_eq!(stats.cells_resolved, 1);
+        let scratch = ProbePlan::new(topo, &cfg, &offline).unwrap();
+        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+    }
+
+    #[test]
+    fn view_deltas_drive_the_plan() {
+        // The intended wiring: TopologyView produces deltas, the plan
+        // consumes them; a drain + undrain round-trips to the pristine
+        // matrix.
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut view = TopologyView::new(ft.clone() as SharedTopology);
+        let cfg = PmcConfig::identifiable(1);
+        let mut plan = ProbePlan::new(view.shared(), &cfg, view.offline_links()).unwrap();
+        let before = plan.matrix();
+
+        let agg = ft.agg(0, 0);
+        let d = view.apply(&TopologyEvent::SwitchDrain { switch: agg });
+        plan.apply(&d.changed_links(), view.offline_links())
+            .unwrap();
+        let drained = plan.matrix();
+        for p in &drained.paths {
+            for l in p.links() {
+                let lk = ft.graph().link(*l);
+                assert!(lk.a != agg && lk.b != agg, "path crosses drained switch");
+            }
+        }
+
+        let d = view.apply(&TopologyEvent::SwitchUndrain { switch: agg });
+        plan.apply(&d.changed_links(), view.offline_links())
+            .unwrap();
+        assert_matrices_equal(&plan.matrix(), &before);
+    }
+}

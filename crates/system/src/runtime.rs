@@ -9,21 +9,24 @@
 //! same runtime drives the simulated fabric, a mock, or (eventually) a
 //! real-packet backend.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use detector_core::pll::LossClassification;
 use detector_core::pmc::{PmcError, ProbeMatrix};
-use detector_core::types::LinkId;
-use detector_topology::DcnTopology;
+use detector_core::types::{LinkId, NodeId};
+use detector_topology::{DcnTopology, TopologyEvent, TopologyView};
 use rand::rngs::SmallRng;
 
 use crate::clock::SimClock;
-use crate::controller::{Controller, Deployment};
+use crate::controller::{Controller, Deployment, PlanUpdate};
 use crate::dataplane::DataPlane;
 use crate::diagnoser::Diagnoser;
 use crate::events::{EventSink, RuntimeEvent, WindowResult};
 use crate::pinger::Pinger;
+use crate::pinglist::Pinglist;
 use crate::watchdog::Watchdog;
 use crate::{ConfigError, SharedTopology, SystemConfig};
 
@@ -98,6 +101,7 @@ impl DetectorBuilder {
             clock: SimClock::new(),
             window: 0,
             sinks: self.sinks,
+            bound: HashMap::new(),
         })
     }
 }
@@ -118,6 +122,11 @@ pub struct Detector {
     clock: SimClock,
     window: u64,
     sinks: Vec<Box<dyn EventSink>>,
+    /// Bound pingers cached across windows, keyed by server; re-bound
+    /// only when the dispatched pinglist's version changes (incremental
+    /// re-plans keep untouched lists at their old version, see
+    /// [`Deployment::rebase_versions`]).
+    bound: HashMap<NodeId, Pinger>,
 }
 
 impl Detector {
@@ -154,6 +163,84 @@ impl Detector {
     /// A shared handle to the monitored topology.
     pub fn topology_arc(&self) -> SharedTopology {
         Arc::clone(&self.topo)
+    }
+
+    /// The live topology view (epoch, offline links, drained switches).
+    pub fn view(&self) -> &TopologyView {
+        self.controller.view()
+    }
+
+    /// The topology view's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.controller.epoch()
+    }
+
+    /// The pinglists of the current deployment.
+    pub fn pinglists(&self) -> &[Pinglist] {
+        &self.deployment.pinglists
+    }
+
+    /// Applies a topology event between windows: the view absorbs it, the
+    /// probe plan is incrementally patched (only the PMC subproblems the
+    /// delta touches are re-solved), pinglists are re-dispatched — lists
+    /// whose assignment is unchanged keep their version, so their pingers
+    /// are not re-bound; note that a delta which changes a subproblem's
+    /// path count shifts the dense `PathId`s of later subproblems and
+    /// forces those lists to re-dispatch too — and a
+    /// [`RuntimeEvent::PlanUpdated`] is emitted to every sink.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use detector_system::{Detector, SystemConfig};
+    /// use detector_topology::{Fattree, TopologyEvent};
+    ///
+    /// let ft = Arc::new(Fattree::new(4).unwrap());
+    /// let mut run = Detector::new(ft.clone(), SystemConfig::default()).unwrap();
+    /// let update = run
+    ///     .apply(&TopologyEvent::LinkDown { link: ft.ea_link(0, 0, 0) })
+    ///     .unwrap();
+    /// assert_eq!(update.epoch, 1);
+    /// assert_eq!(update.links_changed, 1);
+    /// // No deployed path crosses the dead link any more.
+    /// assert!(run.matrix().uncoverable.contains(&ft.ea_link(0, 0, 0)));
+    /// ```
+    pub fn apply(&mut self, event: &TopologyEvent) -> Result<PlanUpdate, PmcError> {
+        let t0 = Instant::now();
+        let mut update = self.controller.apply_event(event)?;
+        if update.links_changed > 0 {
+            let dep = self
+                .controller
+                .build_deployment(self.watchdog.unhealthy_set())?;
+            self.install_deployment(dep);
+        }
+        // Report the full replan latency: view update + plan patch +
+        // matrix assembly + pinglist re-dispatch.
+        update.replan_micros = t0.elapsed().as_micros() as u64;
+        let ev = RuntimeEvent::PlanUpdated {
+            epoch: update.epoch,
+            links_changed: update.links_changed,
+            probes_delta: update.probes_delta,
+            replan_micros: update.replan_micros,
+        };
+        for s in self.sinks.iter_mut() {
+            s.on_event(&ev);
+        }
+        Ok(update)
+    }
+
+    /// Installs a fresh deployment: rebases versions so unchanged lists
+    /// keep their cached pinger bindings, points the diagnoser at the new
+    /// matrix, and prunes bindings of servers no longer on pinger duty.
+    /// Shared by [`Detector::apply`] and the cycle refresh in
+    /// [`Detector::step`].
+    fn install_deployment(&mut self, mut dep: Deployment) {
+        dep.rebase_versions(&self.deployment);
+        self.diagnoser.set_matrix(dep.matrix.clone());
+        self.deployment = dep;
+        let active: HashSet<NodeId> = self.deployment.pinglists.iter().map(|l| l.pinger).collect();
+        self.bound.retain(|k, _| active.contains(k));
     }
 
     /// Scheduled detection probes per window (before loss confirmations):
@@ -208,16 +295,16 @@ impl Detector {
                 .controller
                 .build_deployment(self.watchdog.unhealthy_set())
             {
-                self.diagnoser.set_matrix(dep.matrix.clone());
+                let (version, num_paths) = (dep.version, dep.matrix.num_paths());
+                self.install_deployment(dep);
                 emit(
                     RuntimeEvent::CycleRefreshed {
                         window,
-                        version: dep.version,
-                        num_paths: dep.matrix.num_paths(),
+                        version,
+                        num_paths,
                     },
                     &mut self.sinks,
                 );
-                self.deployment = dep;
             }
         }
 
@@ -234,7 +321,18 @@ impl Detector {
                 );
                 continue;
             }
-            let pinger = Pinger::bind(list.clone(), graph);
+            // Re-bind only when the dispatched list changed (§3.2's
+            // idempotent pinglist refresh): an incremental re-plan leaves
+            // untouched lists at their old version.
+            let needs_bind = self
+                .bound
+                .get(&list.pinger)
+                .is_none_or(|p| p.version() != list.version);
+            if needs_bind {
+                self.bound
+                    .insert(list.pinger, Pinger::bind(list.clone(), graph));
+            }
+            let pinger = self.bound.get(&list.pinger).expect("bound above");
             let report = pinger.run_window(dataplane, &self.cfg, window, rng);
             let sent = report.total_sent();
             probes_sent += sent;

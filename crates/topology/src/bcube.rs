@@ -277,6 +277,7 @@ impl DcnTopology for BCube {
                 provider: Box::new(BcubeProvider::new(self.dims)),
                 replicas: 1,
                 replicate: Box::new(|p, _| p.clone()),
+                replicate_link: Box::new(|l, _| l),
             }],
         }
     }

@@ -101,25 +101,32 @@ impl Dims {
         let links: Vec<LinkId> = path
             .links()
             .iter()
-            .map(|&l| {
-                let v = l.0;
-                let khh = self.k * self.h * self.h;
-                if v < khh {
-                    let pod = v / (self.h * self.h);
-                    let rem = v % (self.h * self.h);
-                    debug_assert_eq!(rem % self.h, 0, "EA link not in group 0");
-                    self.ea_link(pod, rem / self.h, group)
-                } else {
-                    debug_assert!(v < 2 * khh, "server link in probe path");
-                    let rel = v - khh;
-                    let pod = rel / (self.h * self.h);
-                    let rem = rel % (self.h * self.h);
-                    debug_assert_eq!(rem / self.h, 0, "AC link not in group 0");
-                    self.ac_link(pod, group, rem % self.h)
-                }
-            })
+            .map(|&l| self.map_link_to_group(l, group))
             .collect();
         ProbePath::from_route(path.id.0, nodes, links)
+    }
+
+    /// Re-homes a group-0 probe link onto `group` (the link-level
+    /// restriction of [`Self::map_path_to_group`]).
+    fn map_link_to_group(&self, l: LinkId, group: u32) -> LinkId {
+        if group == 0 {
+            return l;
+        }
+        let v = l.0;
+        let khh = self.k * self.h * self.h;
+        if v < khh {
+            let pod = v / (self.h * self.h);
+            let rem = v % (self.h * self.h);
+            debug_assert_eq!(rem % self.h, 0, "EA link not in group 0");
+            self.ea_link(pod, rem / self.h, group)
+        } else {
+            debug_assert!(v < 2 * khh, "server link in probe path");
+            let rel = v - khh;
+            let pod = rel / (self.h * self.h);
+            let rem = rel % (self.h * self.h);
+            debug_assert_eq!(rem / self.h, 0, "AC link not in group 0");
+            self.ac_link(pod, group, rem % self.h)
+        }
     }
 
     /// ToR-pair probe path through (group g, core c). For intra-pod pairs
@@ -333,6 +340,11 @@ impl Fattree {
         self.dims.map_path_to_group(path, group)
     }
 
+    /// Maps a group-0 probe link to its isomorphic image in `group`.
+    pub fn map_link_to_group(&self, link: LinkId, group: u32) -> LinkId {
+        self.dims.map_link_to_group(link, group)
+    }
+
     fn server_coords(&self, server: NodeId) -> (u32, u32, u32) {
         let base = self.dims.server(0, 0, 0).0;
         let rel = server.0 - base;
@@ -445,6 +457,7 @@ impl DcnTopology for Fattree {
                 provider: Box::new(self.group_provider(0)),
                 replicas: dims.h,
                 replicate: Box::new(move |p, g| dims.map_path_to_group(p, g)),
+                replicate_link: Box::new(move |l, g| dims.map_link_to_group(l, g)),
             }],
         }
     }

@@ -25,12 +25,14 @@ mod bcube;
 mod fattree;
 mod graph;
 mod symmetric;
+mod view;
 mod vl2;
 
 pub use bcube::BCube;
 pub use fattree::Fattree;
 pub use graph::{Dcn, Link, LinkTier, Node, NodeKind, Route};
 pub use symmetric::{construct_symmetric, BaseComponent, SymmetryPlan};
+pub use view::{pod_switches, SharedTopology, TopologyDelta, TopologyEvent, TopologyView};
 pub use vl2::Vl2;
 
 use detector_core::types::{NodeId, ProbePath};

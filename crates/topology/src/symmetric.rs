@@ -10,13 +10,17 @@
 use detector_core::pmc::{
     construct_with_provider, Achieved, CandidateProvider, PmcConfig, PmcError, ProbeMatrix,
 };
-use detector_core::types::ProbePath;
+use detector_core::types::{LinkId, ProbePath};
 
 use crate::DcnTopology;
 
 /// Maps a base-component path to a replica index (see
 /// [`BaseComponent::replicate`]).
 pub type ReplicateFn = Box<dyn Fn(&ProbePath, u32) -> ProbePath + Send + Sync>;
+
+/// Maps a base-universe link to a replica index (see
+/// [`BaseComponent::replicate_link`]).
+pub type ReplicateLinkFn = Box<dyn Fn(LinkId, u32) -> LinkId + Send + Sync>;
 
 /// One isomorphism class of components: a provider for the base component
 /// plus the map that re-homes base paths onto each replica.
@@ -28,6 +32,12 @@ pub struct BaseComponent {
     /// Maps a base-component path to replica `r` (`r = 0` must be the
     /// identity).
     pub replicate: ReplicateFn,
+    /// Maps a base-universe link to its image in replica `r` (`r = 0`
+    /// must be the identity). This is the link-level restriction of
+    /// [`Self::replicate`]; the incremental planner uses it to compute
+    /// replica universes and to pull a replica's excluded links back into
+    /// base coordinates for a per-replica re-solve.
+    pub replicate_link: ReplicateLinkFn,
 }
 
 /// A topology's full symmetry plan.
@@ -112,6 +122,38 @@ mod tests {
         let m = construct_symmetric(&ft, &PmcConfig::new(3, 0)).unwrap();
         assert!(m.achieved.targets_met);
         assert!(min_coverage(&m) >= 3);
+    }
+
+    #[test]
+    fn replicate_link_agrees_with_replicate_on_paths() {
+        // The link-level map must be the restriction of the path-level
+        // map: replicating a path and mapping its links individually give
+        // the same link sets, for every topology family.
+        use crate::{BCube, DcnTopology, Vl2};
+        let topos: Vec<Box<dyn DcnTopology>> = vec![
+            Box::new(Fattree::new(6).unwrap()),
+            Box::new(Vl2::new(4, 4, 2).unwrap()),
+            Box::new(BCube::new(2, 1).unwrap()),
+        ];
+        for topo in &topos {
+            let plan = topo.symmetry();
+            for base in plan.bases {
+                let mut provider = base.provider;
+                let batch = provider.next_batch();
+                for p in batch.iter().take(20) {
+                    for r in 0..base.replicas {
+                        let mapped = (base.replicate)(p, r);
+                        let mut via_links: Vec<_> = p
+                            .links()
+                            .iter()
+                            .map(|&l| (base.replicate_link)(l, r))
+                            .collect();
+                        via_links.sort_unstable();
+                        assert_eq!(mapped.links(), via_links.as_slice(), "{}", topo.name());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

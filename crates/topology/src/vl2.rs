@@ -312,6 +312,7 @@ impl DcnTopology for Vl2 {
                 provider: Box::new(Vl2Provider::new(self.dims)),
                 replicas: 1,
                 replicate: Box::new(|p, _| p.clone()),
+                replicate_link: Box::new(|l, _| l),
             }],
         }
     }

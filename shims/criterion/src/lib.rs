@@ -2,11 +2,14 @@
 //!
 //! Provides the API surface this workspace's benches use —
 //! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
-//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box` —
-//! with a simple fixed-sample harness: each benchmark is warmed up, then
-//! timed over `sample_size` samples, and min/mean/max per-iteration times
-//! are printed. No statistics, plots, or baselines; enough to compile
-//! under `cargo bench --no-run` and give indicative numbers when run.
+//! `bench_function` / `bench_with_input`, `iter_batched` (setup excluded
+//! from timing), `BenchmarkId`, `black_box` — with a simple fixed-sample
+//! harness: each benchmark is warmed up, then timed over `sample_size`
+//! samples, and min/median/mean/max per-iteration times plus the sample
+//! standard deviation are printed, so cross-benchmark comparisons (e.g.
+//! full vs incremental re-plan latency) rest on robust statistics rather
+//! than a single mean. No plots or baselines; enough to compile under
+//! `cargo bench --no-run` and give indicative numbers when run.
 
 use std::time::{Duration, Instant};
 
@@ -49,6 +52,20 @@ pub struct Bencher {
     iters_per_sample: u64,
 }
 
+/// Hint for how expensive `iter_batched` setup values are. The shim's
+/// fixed-sample harness runs one routine call per sample regardless, so
+/// the hint is accepted for API compatibility and otherwise ignored.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; the real crate batches many per timing.
+    #[default]
+    SmallInput,
+    /// Setup output is large; the real crate times one at a time.
+    LargeInput,
+    /// One setup per iteration, always.
+    PerIteration,
+}
+
 impl Bencher {
     /// Times `f`, recording one sample per invocation batch.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
@@ -61,6 +78,25 @@ impl Bencher {
             }
             self.samples
                 .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement — the shape incremental-vs-full
+    /// comparisons need when each timed run consumes a fresh clone of
+    /// some state (e.g. a probe plan to patch).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // Warm-up.
+        black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
         }
     }
 }
@@ -86,24 +122,22 @@ impl<'a> BenchmarkGroup<'a> {
             iters_per_sample: 1,
         };
         f(&mut b);
-        let (min, max, sum) = b.samples.iter().fold(
-            (Duration::MAX, Duration::ZERO, Duration::ZERO),
-            |(mn, mx, s), &d| (mn.min(d), mx.max(d), s + d),
-        );
         if b.samples.is_empty() {
             println!("{}/{}: no samples", self.name, id);
-        } else {
-            let mean = sum / b.samples.len() as u32;
-            println!(
-                "{}/{}: [{:?} {:?} {:?}] ({} samples)",
-                self.name,
-                id,
-                min,
-                mean,
-                max,
-                b.samples.len()
-            );
+            return;
         }
+        let stats = SampleStats::from_samples(&b.samples);
+        println!(
+            "{}/{}: [min {:?} med {:?} mean {:?} max {:?} ± {:?}] ({} samples)",
+            self.name,
+            id,
+            stats.min,
+            stats.median,
+            stats.mean,
+            stats.max,
+            stats.std_dev,
+            b.samples.len()
+        );
     }
 
     /// Registers and immediately runs a benchmark.
@@ -133,6 +167,54 @@ impl<'a> BenchmarkGroup<'a> {
 
     /// Ends the group (printing is immediate, so this is a no-op).
     pub fn finish(&mut self) {}
+}
+
+/// Summary statistics over a benchmark's per-iteration samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample (lower-middle for even counts).
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Sample standard deviation (n − 1 denominator; zero for n = 1).
+    pub std_dev: Duration,
+}
+
+impl SampleStats {
+    /// Computes min/median/mean/max/std-dev over `samples` (must be
+    /// non-empty).
+    pub fn from_samples(samples: &[Duration]) -> SampleStats {
+        assert!(!samples.is_empty(), "no samples");
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let sum: Duration = sorted.iter().sum();
+        let mean = sum / n as u32;
+        let mean_ns = mean.as_nanos() as f64;
+        let var = if n > 1 {
+            sorted
+                .iter()
+                .map(|d| {
+                    let diff = d.as_nanos() as f64 - mean_ns;
+                    diff * diff
+                })
+                .sum::<f64>()
+                / (n - 1) as f64
+        } else {
+            0.0
+        };
+        SampleStats {
+            min: sorted[0],
+            median: sorted[(n - 1) / 2],
+            mean,
+            max: sorted[n - 1],
+            std_dev: Duration::from_nanos(var.sqrt() as u64),
+        }
+    }
 }
 
 /// Top-level benchmark driver.
@@ -182,7 +264,8 @@ macro_rules! criterion_main {
 
 #[cfg(test)]
 mod tests {
-    use super::Criterion;
+    use super::{BatchSize, Criterion, SampleStats};
+    use std::time::Duration;
 
     #[test]
     fn group_runs_benchmarks() {
@@ -196,5 +279,54 @@ mod tests {
         });
         g.finish();
         assert!(runs >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut setups = 0u32;
+        let mut routines = 0u32;
+        g.sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| {
+                    routines += 1;
+                    x
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        // One warm-up pair plus one per sample.
+        assert_eq!(setups, 5);
+        assert_eq!(routines, 5);
+    }
+
+    #[test]
+    fn stats_report_median_and_std_dev() {
+        let samples: Vec<Duration> = [4u64, 1, 2, 8]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        let s = SampleStats::from_samples(&samples);
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.max, Duration::from_millis(8));
+        // Lower-middle median of [1, 2, 4, 8].
+        assert_eq!(s.median, Duration::from_millis(2));
+        assert_eq!(s.mean, Duration::from_nanos(3_750_000));
+        // Sample std-dev of [1,2,4,8] ms around 3.75 ms ≈ 3.095 ms.
+        let sd_ms = s.std_dev.as_secs_f64() * 1e3;
+        assert!((sd_ms - 3.095).abs() < 0.01, "std dev {sd_ms} ms");
+    }
+
+    #[test]
+    fn single_sample_has_zero_std_dev() {
+        let s = SampleStats::from_samples(&[Duration::from_millis(5)]);
+        assert_eq!(s.std_dev, Duration::ZERO);
+        assert_eq!(s.median, Duration::from_millis(5));
     }
 }

@@ -45,6 +45,29 @@
 //! [`Detector::step`](detector_system::Detector::step) and topologies are
 //! now shared via `Arc` instead of leaked references.)
 //!
+//! # Reacting to topology churn
+//!
+//! The topology is *live*: drains, repairs and expansions arrive as
+//! [`TopologyEvent`](detector_topology::TopologyEvent)s through
+//! [`Detector::apply`](detector_system::Detector::apply), which patches
+//! the probe plan incrementally — only the PMC subproblems the change
+//! touches are re-solved — and emits a `PlanUpdated` runtime event:
+//!
+//! ```
+//! use detector::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let ft = Arc::new(Fattree::new(4).unwrap());
+//! let mut run = Detector::new(ft.clone(), SystemConfig::default()).unwrap();
+//! let dead = ft.ea_link(0, 0, 0);
+//! let update = run.apply(&TopologyEvent::LinkDown { link: dead }).unwrap();
+//! assert_eq!((update.epoch, update.links_changed), (1, 1));
+//! // Probes route around the drained link until it comes back.
+//! assert!(run.matrix().uncoverable.contains(&dead));
+//! run.apply(&TopologyEvent::LinkUp { link: dead }).unwrap();
+//! assert!(run.matrix().paths_through(dead).count() > 0);
+//! ```
+//!
 //! # The algorithms without the runtime
 //!
 //! ```
@@ -100,10 +123,16 @@ pub mod prelude {
         construct, max_identifiability, min_coverage, verify, PmcConfig, ProbeMatrix,
     };
     pub use detector_core::types::{LinkId, NodeId, PathId, PathObservation, ProbePath};
-    pub use detector_simnet::{Fabric, FailureGenerator, FailureScenario, FlowKey, LossDiscipline};
+    pub use detector_simnet::{
+        ChurnSchedule, Fabric, FailureGenerator, FailureScenario, FlowKey, LossDiscipline,
+    };
     pub use detector_system::{
         BuildError, CollectingSink, ConfigError, DataPlane, Detector, DetectorBuilder, EventSink,
-        JsonLinesSink, ProbeOutcome, RuntimeEvent, SharedTopology, SystemConfig, WindowResult,
+        JsonLinesSink, PlanUpdate, ProbeOutcome, ProbePlan, ReplanStats, RuntimeEvent,
+        SharedTopology, SystemConfig, WindowResult,
     };
-    pub use detector_topology::{construct_symmetric, BCube, DcnTopology, Fattree, Route, Vl2};
+    pub use detector_topology::{
+        construct_symmetric, BCube, DcnTopology, Fattree, Route, TopologyDelta, TopologyEvent,
+        TopologyView, Vl2,
+    };
 }

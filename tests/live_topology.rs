@@ -1,0 +1,321 @@
+//! Integration tests for the live-topology API: epoch-by-epoch
+//! equivalence of incremental and from-scratch planning under arbitrary
+//! event sequences, pinger re-binding sanity (`lost <= sent`), the
+//! `Detector::apply` end-to-end path, and `PlanUpdated` JSON round-trips.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use detector::prelude::*;
+use detector::simnet::ChurnSchedule;
+use detector::system::{Controller, Pinger, TopologyEvent};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn assert_matrices_equal(a: &ProbeMatrix, b: &ProbeMatrix, ctx: &str) {
+    assert_eq!(a.num_links, b.num_links, "{ctx}: universe size");
+    assert_eq!(a.achieved, b.achieved, "{ctx}: achieved targets");
+    assert_eq!(a.uncoverable, b.uncoverable, "{ctx}: uncoverable links");
+    assert_eq!(a.paths.len(), b.paths.len(), "{ctx}: path count");
+    for (i, (pa, pb)) in a.paths.iter().zip(&b.paths).enumerate() {
+        assert_eq!(pa.links(), pb.links(), "{ctx}: path {i} links");
+        assert_eq!(pa.nodes(), pb.nodes(), "{ctx}: path {i} nodes");
+    }
+}
+
+/// Decodes a raw `(kind, target)` pair into an event against `ft`.
+/// Small target ranges make up/down collisions (and thus restores) likely.
+fn decode_event(ft: &Fattree, kind: u8, target: u16) -> TopologyEvent {
+    let probe_links = ft.probe_links() as u32;
+    let switches = ft.graph().num_switches() as u32;
+    let pods = ft.k();
+    match kind % 6 {
+        0 => TopologyEvent::LinkDown {
+            link: LinkId(target as u32 % probe_links),
+        },
+        1 => TopologyEvent::LinkUp {
+            link: LinkId(target as u32 % probe_links),
+        },
+        2 => TopologyEvent::SwitchDrain {
+            switch: NodeId(target as u32 % switches),
+        },
+        3 => TopologyEvent::SwitchUndrain {
+            switch: NodeId(target as u32 % switches),
+        },
+        4 => TopologyEvent::PodDrained {
+            pod: target as u32 % pods,
+        },
+        _ => TopologyEvent::PodAdded {
+            pod: target as u32 % pods,
+        },
+    }
+}
+
+/// Applies `raw` events one by one, asserting after every epoch that the
+/// incrementally patched matrix equals a from-scratch recompute on the
+/// mutated topology.
+fn check_equivalence(ft: Arc<Fattree>, raw: &[(u8, u16)], exhaustive_limit: u128) {
+    let mut ctl = Controller::new(ft.clone() as SharedTopology, SystemConfig::default())
+        .with_exhaustive_limit(exhaustive_limit);
+    ctl.build_deployment(&HashSet::new()).unwrap();
+    for (i, &(kind, target)) in raw.iter().enumerate() {
+        let ev = decode_event(&ft, kind, target);
+        let update = ctl.apply_event(&ev).unwrap();
+        assert_eq!(update.epoch, (i + 1) as u64, "epoch must track events");
+        let patched = ctl.compute_matrix().unwrap();
+        let scratch = ctl.compute_matrix_from_scratch().unwrap();
+        assert_matrices_equal(
+            &patched,
+            &scratch,
+            &format!("epoch {} ({ev:?})", update.epoch),
+        );
+        // Offline links must never be probed.
+        for l in ctl.view().offline_links() {
+            assert!(
+                !patched.paths.iter().any(|p| p.covers(*l)),
+                "offline link {l} still probed at epoch {}",
+                update.epoch
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Materialized planner (Fattree(4)): any event sequence keeps the
+    /// incremental plan equal to a from-scratch recompute, epoch by epoch.
+    #[test]
+    fn incremental_equals_scratch_materialized(
+        raw in proptest::collection::vec((0u8..6, 0u16..64), 1..7)
+    ) {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        check_equivalence(ft, &raw, 300_000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Symmetric planner (Fattree(6), materialization forced off): the
+    /// per-replica excluded re-solve agrees with from-scratch planning.
+    #[test]
+    fn incremental_equals_scratch_symmetric(
+        raw in proptest::collection::vec((0u8..6, 0u16..64), 1..5)
+    ) {
+        let ft = Arc::new(Fattree::new(6).unwrap());
+        check_equivalence(ft, &raw, 0);
+    }
+}
+
+#[test]
+fn equivalence_holds_for_vl2_and_bcube_sequences() {
+    // The non-decomposing families ride the same delta path: one cell,
+    // re-solved when touched, restored when the exclusions empty out.
+    let seq = [
+        TopologyEvent::LinkDown { link: LinkId(0) },
+        TopologyEvent::LinkDown { link: LinkId(5) },
+        TopologyEvent::LinkUp { link: LinkId(0) },
+        TopologyEvent::LinkUp { link: LinkId(5) },
+    ];
+    let topos: Vec<SharedTopology> = vec![
+        Arc::new(Vl2::new(4, 4, 2).unwrap()),
+        Arc::new(BCube::new(3, 1).unwrap()),
+    ];
+    for topo in topos {
+        let name = topo.name();
+        let mut ctl = Controller::new(topo, SystemConfig::default());
+        ctl.build_deployment(&HashSet::new()).unwrap();
+        let pristine = ctl.compute_matrix().unwrap();
+        for ev in &seq {
+            ctl.apply_event(ev).unwrap();
+            let patched = ctl.compute_matrix().unwrap();
+            let scratch = ctl.compute_matrix_from_scratch().unwrap();
+            assert_matrices_equal(&patched, &scratch, &format!("{name} after {ev:?}"));
+        }
+        // The full up/down cycle lands back on the pristine plan.
+        assert_matrices_equal(
+            &ctl.compute_matrix().unwrap(),
+            &pristine,
+            &format!("{name} round trip"),
+        );
+    }
+}
+
+#[test]
+fn rebound_pingers_never_report_lost_above_sent() {
+    // Run a full churn cycle at the controller level: after every event
+    // the fresh deployment's pinglists are re-bound and driven for a
+    // window against a fabric mirroring the same failures (plus one
+    // partial-loss link for actual losses); every counter must satisfy
+    // lost <= sent.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let mut ctl = Controller::new(ft.clone() as SharedTopology, SystemConfig::default());
+    let cfg = SystemConfig::default();
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+
+    let events = [
+        TopologyEvent::LinkDown {
+            link: ft.ea_link(0, 0, 0),
+        },
+        TopologyEvent::SwitchDrain {
+            switch: ft.agg(1, 1),
+        },
+        TopologyEvent::LinkUp {
+            link: ft.ea_link(0, 0, 0),
+        },
+        TopologyEvent::SwitchUndrain {
+            switch: ft.agg(1, 1),
+        },
+    ];
+    let mut fabric = Fabric::quiet(ft.as_ref());
+    fabric.set_discipline_both(
+        ft.ac_link(2, 0, 1),
+        LossDiscipline::RandomPartial { rate: 0.3 },
+    );
+
+    for (w, ev) in events.iter().enumerate() {
+        ChurnSchedule::apply_to_fabric(&mut fabric, ev);
+        ctl.apply_event(ev).unwrap();
+        let dep = ctl.build_deployment(&HashSet::new()).unwrap();
+        assert!(!dep.pinglists.is_empty());
+        for list in &dep.pinglists {
+            let pinger = Pinger::bind(list.clone(), ft.graph());
+            let report = pinger.run_window(&fabric, &cfg, w as u64, &mut rng);
+            for (pid, c) in &report.paths {
+                assert!(
+                    c.lost <= c.sent,
+                    "path {pid}: lost {} > sent {}",
+                    c.lost,
+                    c.sent
+                );
+            }
+            for (peer, c) in &report.in_rack {
+                assert!(
+                    c.lost <= c.sent,
+                    "in-rack {peer}: lost {} > sent {}",
+                    c.lost,
+                    c.sent
+                );
+            }
+            for ((pid, flow), (sent, lost)) in &report.flows {
+                assert!(lost <= sent, "flow {pid}/{flow}: lost {lost} > sent {sent}");
+            }
+        }
+    }
+}
+
+#[test]
+fn detector_apply_replans_and_emits_plan_updated() {
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let victim = ft.ea_link(1, 0, 1);
+    let collector = CollectingSink::new();
+    let mut run = Detector::builder(ft.clone() as SharedTopology)
+        .sink(Box::new(collector.clone()))
+        .build()
+        .unwrap();
+    let mut fabric = Fabric::quiet(ft.as_ref());
+    let mut rng = SmallRng::seed_from_u64(0xABCD);
+    let pristine_paths = run.matrix().num_paths();
+
+    // Window 0: clean.
+    assert!(run.step(&fabric, &mut rng).diagnosis.is_clean());
+
+    // Drain: fabric drops, detector re-plans. No probe crosses the dead
+    // link, so the drain raises no alarm.
+    let down = TopologyEvent::LinkDown { link: victim };
+    ChurnSchedule::apply_to_fabric(&mut fabric, &down);
+    let update = run.apply(&down).unwrap();
+    assert_eq!(update.epoch, 1);
+    assert_eq!(update.links_changed, 1);
+    assert_eq!(update.stats.cells_resolved, 1);
+    assert!(run.matrix().uncoverable.contains(&victim));
+    let w = run.step(&fabric, &mut rng);
+    assert!(w.diagnosis.is_clean(), "{:?}", w.diagnosis.suspect_links());
+
+    // Recover: pristine plan restored without solving.
+    let up = TopologyEvent::LinkUp { link: victim };
+    ChurnSchedule::apply_to_fabric(&mut fabric, &up);
+    let update = run.apply(&up).unwrap();
+    assert_eq!(update.epoch, 2);
+    assert_eq!(update.stats.cells_restored, 1);
+    assert_eq!(update.stats.cells_resolved, 0);
+    assert_eq!(run.matrix().num_paths(), pristine_paths);
+    assert!(run.step(&fabric, &mut rng).diagnosis.is_clean());
+
+    // The stream carries both PlanUpdated records, with consistent
+    // payloads and JSON round-trips.
+    let plan_events: Vec<RuntimeEvent> = collector
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e, RuntimeEvent::PlanUpdated { .. }))
+        .collect();
+    assert_eq!(plan_events.len(), 2);
+    let mut deltas = Vec::new();
+    for (i, e) in plan_events.iter().enumerate() {
+        let RuntimeEvent::PlanUpdated {
+            epoch,
+            links_changed,
+            probes_delta,
+            ..
+        } = e
+        else {
+            unreachable!()
+        };
+        assert_eq!(*epoch, (i + 1) as u64);
+        assert_eq!(*links_changed, 1);
+        deltas.push(*probes_delta);
+        let parsed = RuntimeEvent::from_json(&Json::parse(&e.to_json().to_string()).unwrap());
+        assert_eq!(parsed.as_ref(), Some(e));
+    }
+    // The drain removed some paths; the recovery added them back.
+    assert!(deltas[0] <= 0);
+    assert_eq!(deltas[0] + deltas[1], 0);
+}
+
+#[test]
+fn redundant_events_keep_pinglist_versions_stable() {
+    // A delta that changes nothing must not re-dispatch pinglists — the
+    // re-binding seam: versions stay, cached pinger bindings stay valid.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let victim = ft.ea_link(0, 1, 1);
+    let mut run = Detector::new(ft.clone() as SharedTopology, SystemConfig::default()).unwrap();
+    run.apply(&TopologyEvent::LinkDown { link: victim })
+        .unwrap();
+    let versions: Vec<u64> = run.pinglists().iter().map(|l| l.version).collect();
+
+    // Downing the same link again: epoch bumps, nothing changes.
+    let update = run
+        .apply(&TopologyEvent::LinkDown { link: victim })
+        .unwrap();
+    assert_eq!(update.epoch, 2);
+    assert_eq!(update.links_changed, 0);
+    assert_eq!(update.probes_delta, 0);
+    let after: Vec<u64> = run.pinglists().iter().map(|l| l.version).collect();
+    assert_eq!(versions, after);
+}
+
+#[test]
+fn pod_drain_and_expansion_reroute_the_plan() {
+    // Drain a whole pod (maintenance / not-yet-installed expansion pod),
+    // then add it: the plan must drop every path touching the pod and
+    // rebuild to exactly the pristine matrix on expansion.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let mut run = Detector::new(ft.clone() as SharedTopology, SystemConfig::default()).unwrap();
+    let pristine_paths = run.matrix().num_paths();
+    let pod_tors: Vec<NodeId> = (0..ft.half()).map(|e| ft.edge(3, e)).collect();
+
+    let update = run.apply(&TopologyEvent::PodDrained { pod: 3 }).unwrap();
+    assert!(update.links_changed > 0);
+    for p in &run.matrix().paths {
+        for tor in &pod_tors {
+            assert!(!p.nodes().contains(tor), "path visits drained pod");
+        }
+    }
+    assert!(run.matrix().num_paths() < pristine_paths);
+
+    let update = run.apply(&TopologyEvent::PodAdded { pod: 3 }).unwrap();
+    assert!(update.probes_delta > 0);
+    assert_eq!(run.matrix().num_paths(), pristine_paths);
+}

@@ -23,6 +23,7 @@ fn kind(e: &RuntimeEvent) -> &'static str {
         RuntimeEvent::PingerUnhealthy { .. } => "unhealthy",
         RuntimeEvent::ReportIngested { .. } => "report",
         RuntimeEvent::DiagnosisReady(_) => "ready",
+        RuntimeEvent::PlanUpdated { .. } => "plan",
     }
 }
 
@@ -33,6 +34,8 @@ fn window_of(e: &RuntimeEvent) -> u64 {
         | RuntimeEvent::PingerUnhealthy { window, .. }
         | RuntimeEvent::ReportIngested { window, .. } => *window,
         RuntimeEvent::DiagnosisReady(w) => w.window,
+        // Plan updates happen between windows, never inside a step().
+        RuntimeEvent::PlanUpdated { .. } => u64::MAX,
     }
 }
 
