@@ -77,7 +77,7 @@ pub fn bench_localizer() -> PllLocalizer {
 /// the echoed reply. Each loss is confirmed with two same-content
 /// re-probes, as the pinger does (§3.1).
 pub fn probe_matrix_window(
-    topo: &dyn DcnTopology,
+    topo: &(dyn DcnTopology + Sync),
     matrix: &ProbeMatrix,
     fabric: &Fabric<'_>,
     probes_per_path: u32,
@@ -116,7 +116,7 @@ pub fn probe_matrix_window(
 /// One accuracy episode: inject `scenario`, probe the matrix, localize
 /// through the given [`Localizer`], compare against ground truth.
 pub fn episode_metrics(
-    topo: &dyn DcnTopology,
+    topo: &(dyn DcnTopology + Sync),
     matrix: &ProbeMatrix,
     scenario: &FailureScenario,
     probes_per_path: u32,
@@ -140,7 +140,7 @@ pub fn episode_metrics(
 /// slots in through the same trait object.
 #[allow(clippy::too_many_arguments)]
 pub fn accuracy_campaign(
-    topo: &dyn DcnTopology,
+    topo: &(dyn DcnTopology + Sync),
     matrix: &ProbeMatrix,
     gen: &FailureGenerator,
     n_failures: usize,

@@ -30,7 +30,9 @@ mod verify;
 mod virtual_links;
 
 pub use decompose::{decompose, Subproblem};
-pub use parallel::construct_decomposed_parallel;
+pub use parallel::{
+    construct_decomposed_parallel, resolve_subproblems_parallel, run_indexed_parallel,
+};
 pub use provider::{CandidateProvider, ExcludingProvider, ExhaustiveProvider};
 pub use state::{Eval, SelectionState};
 pub use verify::{max_identifiability, min_coverage, verify, VerifyReport};

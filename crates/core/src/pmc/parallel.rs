@@ -1,16 +1,63 @@
 //! Parallel subproblem driver.
 //!
 //! The paper solves decomposed subproblems "in parallel" on a 10-core
-//! server; we do the same with scoped threads pulling subproblems from a
-//! shared work queue. Results are returned in subproblem order, so the
-//! parallel path is observably identical to the sequential one.
+//! server; we do the same with scoped threads pulling indexed jobs from
+//! a shared work queue ([`run_indexed_parallel`]). Results are returned
+//! in job order, so the parallel path is observably identical to the
+//! sequential one. The same driver powers the incremental planner's
+//! multi-cell patch re-solves in `detector-system`.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use super::decompose::Subproblem;
 use super::{solve_subproblem, PmcConfig, PmcError, SubSolution};
+use crate::types::{LinkId, ProbePath};
+
+/// Runs `n` indexed jobs on up to `available_parallelism` scoped
+/// threads, returning results in index order. With one core (or one
+/// job) the jobs run inline. `job(i)` must be safe to call from any
+/// thread; each index is executed exactly once, so deterministic jobs
+/// make the parallel run observably identical to a sequential loop.
+pub fn run_indexed_parallel<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *results[i].lock().expect("result slot poisoned") = Some(job(i));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("missing job result")
+        })
+        .collect()
+}
 
 /// Solves `subproblems` on up to `available_parallelism` threads.
 pub fn construct_decomposed_parallel(
@@ -19,63 +66,62 @@ pub fn construct_decomposed_parallel(
     deadline: Option<Instant>,
 ) -> Result<Vec<SubSolution>, PmcError> {
     let n = subproblems.len();
-    if n == 0 {
-        return Ok(Vec::new());
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
-        let mut out = Vec::with_capacity(n);
-        for sp in subproblems {
-            out.push(solve_subproblem(sp.universe, sp.candidates, cfg, deadline)?);
-        }
-        return Ok(out);
-    }
-
+    // Job closures take ownership of their subproblem through the slot.
     let work: Vec<Mutex<Option<Subproblem>>> = subproblems
         .into_iter()
         .map(|s| Mutex::new(Some(s)))
         .collect();
-    let results: Vec<Mutex<Option<Result<SubSolution, PmcError>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let out = run_indexed_parallel(n, |i| {
+        let sp = work[i]
+            .lock()
+            .expect("work queue poisoned")
+            .take()
+            .expect("subproblem taken twice");
+        solve_subproblem(sp.universe, sp.candidates, cfg, deadline)
+    });
+    out.into_iter().collect()
+}
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let sp = work[i]
-                    .lock()
-                    .expect("work queue poisoned")
-                    .take()
-                    .expect("subproblem taken twice");
-                let res = solve_subproblem(sp.universe, sp.candidates, cfg, deadline);
-                *results[i].lock().expect("result slot poisoned") = Some(res);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    let mut out = Vec::with_capacity(n);
-    for slot in results {
-        let res = slot
-            .into_inner()
-            .expect("result slot poisoned")
-            .expect("missing subproblem result");
-        out.push(res?);
-    }
-    Ok(out)
+/// Re-solves many subproblems with per-subproblem exclusions on multiple
+/// threads — the batched form of
+/// [`resolve_subproblem`](super::resolve_subproblem). Each `(universe,
+/// candidates, excluded)` triple is restricted exactly as
+/// `resolve_subproblem` restricts it, then the batch rides
+/// [`construct_decomposed_parallel`]; results come back in input order
+/// and each solve is deterministic, so a *successful* batch is exactly
+/// what re-solving the same cells one by one would produce. Timeout
+/// semantics differ: the batch shares one wall-clock budget from
+/// `cfg.timeout` (like a from-scratch decomposed build), whereas
+/// one-by-one re-solves restart the budget per cell — a batch can time
+/// out where N sequential calls would each squeak by. (The incremental
+/// planner's patch path therefore drives its cells through
+/// [`run_indexed_parallel`] with per-cell budgets instead.)
+pub fn resolve_subproblems_parallel(
+    work: Vec<(&[LinkId], &[ProbePath], &HashSet<LinkId>)>,
+    cfg: &PmcConfig,
+) -> Result<Vec<SubSolution>, PmcError> {
+    let deadline = cfg.timeout.map(|t| Instant::now() + t);
+    let restricted: Vec<Subproblem> = work
+        .into_iter()
+        .map(|(universe, candidates, excluded)| Subproblem {
+            universe: universe
+                .iter()
+                .copied()
+                .filter(|l| !excluded.contains(l))
+                .collect(),
+            candidates: candidates
+                .iter()
+                .filter(|p| !p.links().iter().any(|l| excluded.contains(l)))
+                .cloned()
+                .collect(),
+        })
+        .collect();
+    construct_decomposed_parallel(restricted, cfg, deadline)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{LinkId, ProbePath};
 
     fn path(id: u32, ls: &[u32]) -> ProbePath {
         ProbePath::from_links(id, ls.iter().map(|&l| LinkId(l)).collect())
@@ -114,5 +160,52 @@ mod tests {
         let cfg = PmcConfig::identifiable(1);
         let out = construct_decomposed_parallel(Vec::new(), &cfg, None).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn indexed_driver_preserves_order_and_runs_each_job_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed_parallel(64, |i| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            i * i
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 64);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+        assert!(run_indexed_parallel(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn batched_resolve_matches_one_by_one() {
+        // 6 disjoint two-link components, each losing a different link.
+        let mut subs = Vec::new();
+        for c in 0..6u32 {
+            let base = c * 2;
+            let candidates = vec![
+                path(c * 3, &[base, base + 1]),
+                path(c * 3 + 1, &[base]),
+                path(c * 3 + 2, &[base + 1]),
+            ];
+            let universe = vec![LinkId(base), LinkId(base + 1)];
+            let excluded: HashSet<LinkId> = if c % 2 == 0 {
+                [LinkId(base)].into_iter().collect()
+            } else {
+                HashSet::new()
+            };
+            subs.push((universe, candidates, excluded));
+        }
+        let cfg = PmcConfig::identifiable(1);
+        let work: Vec<(&[LinkId], &[ProbePath], &HashSet<LinkId>)> = subs
+            .iter()
+            .map(|(u, c, e)| (u.as_slice(), c.as_slice(), e))
+            .collect();
+        let batched = resolve_subproblems_parallel(work, &cfg).unwrap();
+        for ((universe, candidates, excluded), got) in subs.iter().zip(&batched) {
+            let want =
+                super::super::resolve_subproblem(universe, candidates, excluded, &cfg).unwrap();
+            assert_eq!(got.targets_met, want.targets_met);
+            let la: Vec<_> = got.paths.iter().map(|p| p.links().to_vec()).collect();
+            let lb: Vec<_> = want.paths.iter().map(|p| p.links().to_vec()).collect();
+            assert_eq!(la, lb);
+        }
     }
 }

@@ -45,8 +45,15 @@ pub struct RoundTrip {
 }
 
 /// The simulated data-center fabric.
+///
+/// Holds the topology behind a `Sync` bound so a fabric can be shared
+/// across concurrent probe stages (`Fabric: Sync`, and probing via
+/// [`Fabric::send`] / [`Fabric::round_trip`] takes `&self`); every
+/// concrete topology in `detector-topology` is plain data and satisfies
+/// the bound. Mutation (disciplines, dead switches, utilization) still
+/// requires `&mut self` — wrap the fabric in a lock to churn it mid-run.
 pub struct Fabric<'a> {
-    topo: &'a dyn DcnTopology,
+    topo: &'a (dyn DcnTopology + Sync),
     disciplines: HashMap<(LinkId, LinkDir), LossDiscipline>,
     dead_switches: HashSet<NodeId>,
     /// Background loss rate per link (the normal 1e-4..1e-5 of §5.1).
@@ -60,7 +67,7 @@ pub struct Fabric<'a> {
 impl<'a> Fabric<'a> {
     /// A fabric with background noise sampled per link from `seed`
     /// (log-uniform in [1e-5, 1e-4]).
-    pub fn new(topo: &'a dyn DcnTopology, seed: u64) -> Self {
+    pub fn new(topo: &'a (dyn DcnTopology + Sync), seed: u64) -> Self {
         let n = topo.graph().num_links();
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_ba5e);
         let noise = (0..n)
@@ -80,7 +87,7 @@ impl<'a> Fabric<'a> {
     }
 
     /// A fabric with zero background noise (for exact-loss tests).
-    pub fn quiet(topo: &'a dyn DcnTopology) -> Self {
+    pub fn quiet(topo: &'a (dyn DcnTopology + Sync)) -> Self {
         let n = topo.graph().num_links();
         Self {
             topo,
@@ -93,7 +100,7 @@ impl<'a> Fabric<'a> {
     }
 
     /// The topology this fabric simulates.
-    pub fn topology(&self) -> &'a dyn DcnTopology {
+    pub fn topology(&self) -> &'a (dyn DcnTopology + Sync) {
         self.topo
     }
 

@@ -5,9 +5,11 @@
 //! ordered sequence of [`RuntimeEvent`]s — `WindowStarted` first,
 //! `DiagnosisReady` last, with cycle refreshes, per-pinger report
 //! ingestions and health exclusions in between. Sinks registered on the
-//! builder observe every event; this is the seam where the ROADMAP's
-//! async/overlapping-window scheduler (and external report consumers,
-//! like the paper's HTTP POST receivers in §6.1) plug in.
+//! builder observe every event; the pipelined scheduler
+//! ([`Detector::run_pipelined`](crate::Detector::run_pipelined)) emits
+//! the same totally ordered stream from its diagnosis stage, and
+//! external report consumers (like the paper's HTTP POST receivers in
+//! §6.1) plug in here too.
 
 use std::sync::{Arc, Mutex};
 
@@ -175,6 +177,28 @@ impl ToJson for RuntimeEvent {
 }
 
 impl RuntimeEvent {
+    /// This event with its wall-clock-measured fields zeroed (today just
+    /// `PlanUpdated::replan_micros`) — the canonical form for comparing
+    /// event streams across executions, as the sequential-vs-pipelined
+    /// equivalence harnesses do. If a future variant grows another
+    /// timing field, zero it here and every harness stays correct.
+    pub fn normalized(&self) -> RuntimeEvent {
+        match self {
+            RuntimeEvent::PlanUpdated {
+                epoch,
+                links_changed,
+                probes_delta,
+                ..
+            } => RuntimeEvent::PlanUpdated {
+                epoch: *epoch,
+                links_changed: *links_changed,
+                probes_delta: *probes_delta,
+                replan_micros: 0,
+            },
+            other => other.clone(),
+        }
+    }
+
     /// Rebuilds an event from its [`ToJson`] representation (the inverse
     /// of [`ToJson::to_json`]; every variant round-trips).
     pub fn from_json(v: &Json) -> Option<RuntimeEvent> {
@@ -215,7 +239,10 @@ impl RuntimeEvent {
 ///
 /// Sinks are registered on [`DetectorBuilder::sink`](crate::DetectorBuilder::sink)
 /// and invoked synchronously, in registration order, for every event.
-pub trait EventSink {
+/// Sinks must be `Send`: the pipelined scheduler
+/// ([`Detector::run_pipelined`](crate::Detector::run_pipelined)) emits
+/// the stream from its diagnosis-stage thread.
+pub trait EventSink: Send {
     /// Observes one event. Events arrive in emission order.
     fn on_event(&mut self, event: &RuntimeEvent);
 }
@@ -291,7 +318,7 @@ impl JsonLinesSink<std::io::Stdout> {
     }
 }
 
-impl<W: std::io::Write> EventSink for JsonLinesSink<W> {
+impl<W: std::io::Write + Send> EventSink for JsonLinesSink<W> {
     fn on_event(&mut self, event: &RuntimeEvent) {
         if let RuntimeEvent::DiagnosisReady(_) = event {
             // A failed write cannot be surfaced from a sink; dropping the

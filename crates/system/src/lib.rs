@@ -14,7 +14,15 @@
 //! monitoring campaigns (hours of simulated probing with failure
 //! injection) run deterministically in milliseconds. Each step emits
 //! typed [`RuntimeEvent`]s to the registered [`EventSink`]s — the seam
-//! for async schedulers, JSON-lines exports and report consumers.
+//! for schedulers, JSON-lines exports and report consumers.
+//!
+//! For throughput, [`Detector::run_pipelined`] runs whole campaigns
+//! through the **pipelined scheduler**: probe dispatch, report
+//! collection and diagnosis overlap across windows on worker threads,
+//! with scripted churn and pinger failures ([`Script`]), while emitting
+//! the identical event stream as sequential stepping (proven by the
+//! equivalence harness in `tests/scheduler_equivalence.rs`; see the
+//! `scheduler` module docs for the stage layout).
 //!
 //! # Examples
 //!
@@ -64,6 +72,7 @@ mod planner;
 mod report;
 mod responder;
 mod runtime;
+mod scheduler;
 mod watchdog;
 
 use std::fmt;
@@ -73,12 +82,13 @@ pub use controller::{Controller, Deployment, PlanUpdate};
 pub use dataplane::{DataPlane, ProbeOutcome};
 pub use diagnoser::{Diagnoser, DiagnosisEvent};
 pub use events::{CollectingSink, EventSink, JsonLinesSink, RuntimeEvent, WindowResult};
-pub use pinger::{Pinger, PingerCostModel};
+pub use pinger::{batch_seed, Pinger, PingerBatch, PingerCostModel};
 pub use pinglist::{PingEntry, Pinglist};
 pub use planner::{ProbePlan, ReplanStats, EXHAUSTIVE_LIMIT};
 pub use report::{PathCounters, PingerReport, ReportStore};
 pub use responder::Responder;
 pub use runtime::{BuildError, Detector, DetectorBuilder};
+pub use scheduler::{PipelineConfig, PipelineError, Script, ScriptAction};
 pub use watchdog::Watchdog;
 
 // The live-topology surface lives in `detector-topology`; re-exported

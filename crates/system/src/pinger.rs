@@ -1,10 +1,11 @@
 //! The pinger: sends source-routed probes and aggregates window reports
-//! (§3.1, §6.1).
+//! (§3.1, §6.1), plus the batched per-server form the schedulers drive.
 
 use detector_core::types::NodeId;
 use detector_simnet::FlowKey;
 use detector_topology::{Dcn, Route};
 use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::dataplane::DataPlane;
 use crate::pinglist::Pinglist;
@@ -121,6 +122,75 @@ impl Pinger {
             }
         }
         report
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the probe-RNG seed of one server's batch in one window from
+/// the window's master seed. The derivation is a pure function of
+/// `(window_seed, server)`, so a server's probe outcomes do not depend
+/// on when — or on which thread — its batch runs: the property that
+/// makes the pipelined scheduler bit-equivalent to sequential
+/// [`Detector::step`](crate::Detector::step).
+pub fn batch_seed(window_seed: u64, server: NodeId) -> u64 {
+    splitmix64(window_seed ^ splitmix64(u64::from(server.0)))
+}
+
+/// A server's probing work for a window, batched: the bound pinglist
+/// (routes resolved once at bind time, not per probe) plus per-window
+/// RNG setup (one stream seeded per server-window via [`batch_seed`],
+/// not one draw negotiated per probe dispatch).
+///
+/// Both runtime paths drive batches — [`Detector::step`] runs them
+/// inline in pinglist order, `run_pipelined` ships them to probe-stage
+/// workers — so the per-probe behaviour is one shared code path.
+///
+/// [`Detector::step`]: crate::Detector::step
+pub struct PingerBatch {
+    inner: Pinger,
+}
+
+impl PingerBatch {
+    /// Binds a pinglist into a batch, resolving each entry's route once
+    /// (see [`Pinger::bind`] for the dispatch-error semantics).
+    pub fn bind(list: Pinglist, graph: &Dcn) -> Self {
+        Self {
+            inner: Pinger::bind(list, graph),
+        }
+    }
+
+    /// The batch's pinger server.
+    pub fn server(&self) -> NodeId {
+        self.inner.server()
+    }
+
+    /// The version of the bound pinglist (cache key for re-binding).
+    pub fn version(&self) -> u64 {
+        self.inner.version()
+    }
+
+    /// Number of bound entries.
+    pub fn num_entries(&self) -> usize {
+        self.inner.num_entries()
+    }
+
+    /// Runs one reporting window with the batch's own RNG stream derived
+    /// from the window's master seed.
+    pub fn run_window(
+        &self,
+        dataplane: &dyn DataPlane,
+        cfg: &SystemConfig,
+        window: u64,
+        window_seed: u64,
+    ) -> PingerReport {
+        let mut rng = SmallRng::seed_from_u64(batch_seed(window_seed, self.server()));
+        self.inner.run_window(dataplane, cfg, window, &mut rng)
     }
 }
 
@@ -317,6 +387,39 @@ mod tests {
         let lost_scheduled = c.lost as f64 / 3.0; // Each loss confirmed twice.
         let frac = lost_scheduled / scheduled;
         assert!((frac - 1.0 / 3.0).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn batch_runs_are_reproducible() {
+        // Same (window_seed, server) ⇒ identical report, regardless of
+        // when or where the batch runs — the pipelined scheduler's
+        // equivalence hinges on this.
+        let ft = Fattree::new(4).unwrap();
+        let (list, mut fabric) = setup(&ft);
+        fabric.set_discipline_both(
+            ft.ea_link(0, 0, 0),
+            LossDiscipline::RandomPartial { rate: 0.3 },
+        );
+        let batch = PingerBatch::bind(list, ft.graph());
+        let cfg = SystemConfig::default();
+        let a = batch.run_window(&fabric, &cfg, 0, 42);
+        let b = batch.run_window(&fabric, &cfg, 0, 42);
+        assert_eq!(a.paths, b.paths);
+        assert_eq!(a.in_rack, b.in_rack);
+        assert_eq!(a.flows, b.flows);
+        let c = batch.run_window(&fabric, &cfg, 0, 43);
+        assert_ne!(
+            a.paths, c.paths,
+            "different window seeds must drive different probe streams"
+        );
+    }
+
+    #[test]
+    fn batch_seeds_separate_servers() {
+        let s = batch_seed(7, NodeId(1));
+        assert_ne!(s, batch_seed(7, NodeId(2)));
+        assert_ne!(s, batch_seed(8, NodeId(1)));
+        assert_eq!(s, batch_seed(7, NodeId(1)));
     }
 
     #[test]

@@ -34,7 +34,8 @@ use std::time::Instant;
 
 use detector_core::pmc::{
     construct_decomposed_parallel, construct_with_provider, decompose, resolve_subproblem,
-    Achieved, ExcludingProvider, PmcConfig, PmcError, ProbeMatrix, SubSolution, Subproblem,
+    run_indexed_parallel, Achieved, ExcludingProvider, PmcConfig, PmcError, ProbeMatrix,
+    SubSolution, Subproblem,
 };
 use detector_core::types::{LinkId, ProbePath};
 use detector_topology::{BaseComponent, SharedTopology};
@@ -338,9 +339,11 @@ impl ProbePlan {
         all_changed.sort_unstable();
         all_changed.dedup();
 
-        // Phase 1: compute every affected cell's new state, touching
-        // nothing. `None` marks a pristine-cache restore.
-        let mut patches: Vec<(usize, Vec<LinkId>, Option<SubSolution>)> = Vec::new();
+        // Phase 1: classify every affected cell, touching nothing.
+        // Restores splice the cached pristine solution; the rest must be
+        // re-solved from their candidate sources.
+        let mut restores: Vec<(usize, Vec<LinkId>)> = Vec::new();
+        let mut solves: Vec<(usize, Vec<LinkId>)> = Vec::new();
         for (ci, cell) in self.cells.iter().enumerate() {
             if !cell.intersects(&all_changed) {
                 continue;
@@ -350,14 +353,37 @@ impl ProbePlan {
                 continue;
             }
             if new_excluded.is_empty() && cell.pristine.is_some() {
-                patches.push((ci, new_excluded, None));
+                restores.push((ci, new_excluded));
                 stats.cells_restored += 1;
-                continue;
+            } else {
+                solves.push((ci, new_excluded));
+                stats.cells_resolved += 1;
             }
-            let solution = self.resolve_cell(ci, &new_excluded)?;
-            patches.push((ci, new_excluded, Some(solution)));
-            stats.cells_resolved += 1;
         }
+
+        // Phase 1b: re-solve. A multi-cell delta (e.g. a pod drain
+        // touching every group) fans out across threads; each cell's
+        // solve is deterministic, so the parallel patch is observably
+        // identical to re-solving the cells one by one.
+        let solutions: Vec<SubSolution> = if self.cfg.parallel && solves.len() > 1 {
+            self.resolve_cells_parallel(&solves)?
+        } else {
+            let mut out = Vec::with_capacity(solves.len());
+            for (ci, excluded) in &solves {
+                out.push(self.resolve_cell(*ci, excluded)?);
+            }
+            out
+        };
+        let mut patches: Vec<(usize, Vec<LinkId>, Option<SubSolution>)> = restores
+            .into_iter()
+            .map(|(ci, ex)| (ci, ex, None))
+            .collect();
+        patches.extend(
+            solves
+                .into_iter()
+                .zip(solutions)
+                .map(|((ci, ex), sol)| (ci, ex, Some(sol))),
+        );
 
         // Phase 2: commit.
         self.offline = offline;
@@ -392,6 +418,26 @@ impl ProbePlan {
                 to_base,
             } => resolve_replica(&self.topo, &self.cfg, *base, *replica, to_base, excluded),
         }
+    }
+
+    /// Re-solves a batch of cells concurrently, results in input order —
+    /// every cell (materialized or replica) runs the identical
+    /// [`ProbePlan::resolve_cell`] procedure, fanned out over
+    /// [`run_indexed_parallel`] (the driver underneath
+    /// `construct_decomposed_parallel`). Because each cell's solve
+    /// derives its own deadline from `cfg.timeout`, the parallel batch
+    /// has exactly the per-cell budget semantics of the sequential
+    /// fallback: only the schedule differs, never the result.
+    fn resolve_cells_parallel(
+        &self,
+        solves: &[(usize, Vec<LinkId>)],
+    ) -> Result<Vec<SubSolution>, PmcError> {
+        run_indexed_parallel(solves.len(), |i| {
+            let (ci, excluded) = &solves[i];
+            self.resolve_cell(*ci, excluded)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Assembles the current per-cell solutions into a dense probe
@@ -617,6 +663,64 @@ mod tests {
         let stats = plan.apply(&[], &offline).unwrap();
         assert_eq!(stats.cells_resolved, 1);
         let scratch = ProbePlan::new(topo, &cfg, &offline).unwrap();
+        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+    }
+
+    #[test]
+    fn multi_cell_patch_rides_the_parallel_path_materialized() {
+        // A pod drain touches every group cell at once; the parallel
+        // batch re-solve must agree with a from-scratch build exactly.
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut view = TopologyView::new(ft.clone() as SharedTopology);
+        let cfg = PmcConfig::identifiable(1);
+        assert!(
+            cfg.parallel,
+            "default config must exercise the parallel patch"
+        );
+        let mut plan = ProbePlan::new(view.shared(), &cfg, view.offline_links()).unwrap();
+        let before = plan.matrix();
+
+        let d = view.apply(&TopologyEvent::PodDrained { pod: 0 });
+        let stats = plan
+            .apply(&d.changed_links(), view.offline_links())
+            .unwrap();
+        assert_eq!(
+            stats.cells_resolved,
+            plan.num_cells(),
+            "pod drain must touch every cell"
+        );
+        let scratch = ProbePlan::new(view.shared(), &cfg, view.offline_links()).unwrap();
+        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+
+        // And the recovery restores every cell from cache, in one patch.
+        let d = view.apply(&TopologyEvent::PodAdded { pod: 0 });
+        let stats = plan
+            .apply(&d.changed_links(), view.offline_links())
+            .unwrap();
+        assert_eq!(stats.cells_restored, plan.num_cells());
+        assert_matrices_equal(&plan.matrix(), &before);
+    }
+
+    #[test]
+    fn multi_cell_patch_rides_the_parallel_path_symmetric() {
+        // Same drill with materialization forced off: every replica cell
+        // re-solves through its provider, concurrently.
+        let ft = Arc::new(Fattree::new(6).unwrap());
+        let mut view = TopologyView::new(ft.clone() as SharedTopology);
+        let cfg = PmcConfig::identifiable(1);
+        let mut plan =
+            ProbePlan::with_exhaustive_limit(view.shared(), &cfg, view.offline_links(), 0).unwrap();
+
+        let d = view.apply(&TopologyEvent::PodDrained { pod: 1 });
+        let stats = plan
+            .apply(&d.changed_links(), view.offline_links())
+            .unwrap();
+        assert!(
+            stats.cells_resolved > 1,
+            "pod drain must re-solve several replica cells, got {stats:?}"
+        );
+        let scratch =
+            ProbePlan::with_exhaustive_limit(view.shared(), &cfg, view.offline_links(), 0).unwrap();
         assert_matrices_equal(&plan.matrix(), &scratch.matrix());
     }
 

@@ -19,13 +19,14 @@ use detector_core::pmc::{PmcError, ProbeMatrix};
 use detector_core::types::{LinkId, NodeId};
 use detector_topology::{DcnTopology, TopologyEvent, TopologyView};
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use crate::clock::SimClock;
 use crate::controller::{Controller, Deployment, PlanUpdate};
 use crate::dataplane::DataPlane;
 use crate::diagnoser::Diagnoser;
 use crate::events::{EventSink, RuntimeEvent, WindowResult};
-use crate::pinger::Pinger;
+use crate::pinger::PingerBatch;
 use crate::pinglist::Pinglist;
 use crate::watchdog::Watchdog;
 use crate::{ConfigError, SharedTopology, SystemConfig};
@@ -111,22 +112,24 @@ impl DetectorBuilder {
 /// Owns the monitored topology; drive it window by window with
 /// [`step`](Self::step) against any [`DataPlane`].
 pub struct Detector {
-    topo: SharedTopology,
-    cfg: SystemConfig,
-    controller: Controller,
-    deployment: Deployment,
-    diagnoser: Diagnoser,
+    pub(crate) topo: SharedTopology,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) controller: Controller,
+    pub(crate) deployment: Deployment,
+    pub(crate) diagnoser: Diagnoser,
     /// The watchdog, exposed for scenario scripting (e.g. killing a
     /// pinger server mid-run).
     pub watchdog: Watchdog,
-    clock: SimClock,
-    window: u64,
-    sinks: Vec<Box<dyn EventSink>>,
-    /// Bound pingers cached across windows, keyed by server; re-bound
-    /// only when the dispatched pinglist's version changes (incremental
-    /// re-plans keep untouched lists at their old version, see
-    /// [`Deployment::rebase_versions`]).
-    bound: HashMap<NodeId, Pinger>,
+    pub(crate) clock: SimClock,
+    pub(crate) window: u64,
+    pub(crate) sinks: Vec<Box<dyn EventSink>>,
+    /// Bound pinger batches cached across windows, keyed by server;
+    /// re-bound only when the dispatched pinglist's version changes
+    /// (incremental re-plans keep untouched lists at their old version,
+    /// see [`Deployment::rebase_versions`]). Batches are `Arc`-shared so
+    /// the pipelined scheduler can ship them to probe workers without
+    /// re-binding.
+    pub(crate) bound: HashMap<NodeId, Arc<PingerBatch>>,
 }
 
 impl Detector {
@@ -235,12 +238,9 @@ impl Detector {
     /// matrix, and prunes bindings of servers no longer on pinger duty.
     /// Shared by [`Detector::apply`] and the cycle refresh in
     /// [`Detector::step`].
-    fn install_deployment(&mut self, mut dep: Deployment) {
-        dep.rebase_versions(&self.deployment);
-        self.diagnoser.set_matrix(dep.matrix.clone());
-        self.deployment = dep;
-        let active: HashSet<NodeId> = self.deployment.pinglists.iter().map(|l| l.pinger).collect();
-        self.bound.retain(|k, _| active.contains(k));
+    fn install_deployment(&mut self, dep: Deployment) {
+        let matrix = install_dispatched(&mut self.deployment, &mut self.bound, dep);
+        self.diagnoser.set_matrix(matrix);
     }
 
     /// Scheduled detection probes per window (before loss confirmations):
@@ -270,6 +270,13 @@ impl Detector {
     /// `CycleRefreshed` (exactly on cycle boundaries), then one
     /// `PingerUnhealthy` or `ReportIngested` per pinger, and finally
     /// `DiagnosisReady` carrying the returned [`WindowResult`].
+    ///
+    /// Exactly one `u64` is drawn from `rng` per window (the window's
+    /// master seed); each server's probe stream is a [`PingerBatch`] RNG
+    /// derived from it via [`batch_seed`](crate::batch_seed). A window's
+    /// outcome therefore does not depend on the order servers probe in —
+    /// which is what lets [`run_pipelined`](Detector::run_pipelined)
+    /// produce identical results while probing concurrently.
     pub fn step(&mut self, dataplane: &dyn DataPlane, rng: &mut SmallRng) -> WindowResult {
         let window = self.window;
         let start_s = self.clock.now_s();
@@ -308,6 +315,7 @@ impl Detector {
             }
         }
 
+        let window_seed: u64 = rng.gen();
         let mut probes_sent = 0u64;
         let graph = self.topo.graph();
         for list in &self.deployment.pinglists {
@@ -329,11 +337,13 @@ impl Detector {
                 .get(&list.pinger)
                 .is_none_or(|p| p.version() != list.version);
             if needs_bind {
-                self.bound
-                    .insert(list.pinger, Pinger::bind(list.clone(), graph));
+                self.bound.insert(
+                    list.pinger,
+                    Arc::new(PingerBatch::bind(list.clone(), graph)),
+                );
             }
-            let pinger = self.bound.get(&list.pinger).expect("bound above");
-            let report = pinger.run_window(dataplane, &self.cfg, window, rng);
+            let batch = self.bound.get(&list.pinger).expect("bound above");
+            let report = batch.run_window(dataplane, &self.cfg, window, window_seed);
             let sent = report.total_sent();
             probes_sent += sent;
             emit(
@@ -374,6 +384,26 @@ impl Detector {
         dataplane.window_finished(window, self.clock.now_s());
         result
     }
+}
+
+/// The shared deployment-installation protocol, minus the diagnoser
+/// handoff (in the pipelined scheduler the diagnosis stage owns the
+/// diagnoser, so the dispatcher calls this and ships the returned matrix
+/// in the window's meta record): rebase pinglist versions so cached
+/// batches stay valid, install, and prune batches of servers no longer
+/// on pinger duty. Any change to the install protocol must go through
+/// here — sequential/pipelined equivalence depends on both drivers
+/// running the identical procedure.
+pub(crate) fn install_dispatched(
+    deployment: &mut Deployment,
+    bound: &mut HashMap<NodeId, Arc<PingerBatch>>,
+    mut dep: Deployment,
+) -> ProbeMatrix {
+    dep.rebase_versions(deployment);
+    *deployment = dep;
+    let active: HashSet<NodeId> = deployment.pinglists.iter().map(|l| l.pinger).collect();
+    bound.retain(|k, _| active.contains(k));
+    deployment.matrix.clone()
 }
 
 #[cfg(test)]

@@ -1,10 +1,14 @@
 //! Offline shim for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` is used by this workspace. Since Rust
-//! 1.63 the standard library provides scoped threads, so the shim is a
-//! thin adapter: it reproduces crossbeam's closure signature (the scope
-//! handle is passed to every spawned closure, and the outer call returns
-//! `Err` instead of panicking when a child thread panics).
+//! The workspace uses `crossbeam::thread::scope` and
+//! `crossbeam::channel`. Since Rust 1.63 the standard library provides
+//! scoped threads, so the thread half is a thin adapter: it reproduces
+//! crossbeam's closure signature (the scope handle is passed to every
+//! spawned closure, and the outer call returns `Err` instead of
+//! panicking when a child thread panics). The channel half is a
+//! Mutex+Condvar MPMC queue with crossbeam's disconnect semantics
+//! (`recv` errors once every sender is gone and the queue is drained;
+//! `send` errors once every receiver is gone).
 
 /// Scoped-thread support mirroring `crossbeam::thread`.
 pub mod thread {
@@ -40,6 +44,253 @@ pub mod thread {
     }
 }
 
+/// Multi-producer multi-consumer channels mirroring `crossbeam::channel`.
+///
+/// Implemented as a `Mutex<VecDeque>` + two `Condvar`s. The subset is
+/// what the workspace needs: `bounded`/`unbounded` constructors,
+/// cloneable `Sender`/`Receiver` halves, blocking `send`/`recv`,
+/// `try_recv`, and iteration. One deliberate divergence: crossbeam's
+/// `bounded(0)` is a rendezvous channel; here a zero capacity is rounded
+/// up to one (this workspace never asks for a rendezvous).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// A channel holding at most `cap` in-flight messages; `send` blocks
+    /// while it is full. A `cap` of zero is rounded up to one (see the
+    /// module docs).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity bound; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (or until every receiver
+        /// is dropped, in which case the message comes back in the error).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.shared.not_full.wait(st).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives (or until the channel is empty
+        /// with every sender dropped).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Pops a message if one is ready; never blocks.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator over received messages (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Unblock every receiver waiting for data that will never
+                // arrive.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Unblock every sender waiting for room that will never
+                // appear.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,5 +313,88 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = super::channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(super::channel::SendError(7)));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = super::channel::bounded(2);
+        let produced = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|_| {
+                for i in 0..64 {
+                    tx.send(i).unwrap();
+                    produced.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            let got: Vec<usize> = (0..64).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..64).collect::<Vec<_>>());
+        })
+        .unwrap();
+        assert_eq!(produced.load(Ordering::SeqCst), 64);
+        // The queue never grew past the bound.
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn mpmc_consumers_drain_everything_exactly_once() {
+        let (tx, rx) = super::channel::bounded(4);
+        let consumed = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let consumed = &consumed;
+                s.spawn(move |_| {
+                    while rx.recv().is_ok() {
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        })
+        .unwrap();
+        assert_eq!(consumed.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_vs_disconnected() {
+        use super::channel::TryRecvError;
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn receiver_iterates_until_disconnect() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let all: Vec<i32> = rx.iter().collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
     }
 }

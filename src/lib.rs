@@ -128,8 +128,9 @@ pub mod prelude {
     };
     pub use detector_system::{
         BuildError, CollectingSink, ConfigError, DataPlane, Detector, DetectorBuilder, EventSink,
-        JsonLinesSink, PlanUpdate, ProbeOutcome, ProbePlan, ReplanStats, RuntimeEvent,
-        SharedTopology, SystemConfig, WindowResult,
+        JsonLinesSink, PipelineConfig, PipelineError, PlanUpdate, ProbeOutcome, ProbePlan,
+        ReplanStats, RuntimeEvent, Script, ScriptAction, SharedTopology, SystemConfig,
+        WindowResult,
     };
     pub use detector_topology::{
         construct_symmetric, BCube, DcnTopology, Fattree, Route, TopologyDelta, TopologyEvent,

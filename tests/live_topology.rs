@@ -275,6 +275,97 @@ fn detector_apply_replans_and_emits_plan_updated() {
 }
 
 #[test]
+fn accuracy_during_a_drain_window() {
+    // The ROADMAP churn-accuracy scenario: while a drained link is down,
+    // (a) the drain itself must never be blamed (no false positive on a
+    // link nothing probes), and (b) a *real* failure elsewhere must
+    // still be localized mid-drain — the re-planned matrix keeps the
+    // rest of the fabric β-identifiable.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let drained = ft.ea_link(0, 0, 0);
+    let faulty = ft.ac_link(2, 1, 0);
+    let mut run = Detector::new(ft.clone() as SharedTopology, SystemConfig::default()).unwrap();
+    let mut fabric = Fabric::quiet(ft.as_ref());
+    let mut rng = SmallRng::seed_from_u64(0xD12A);
+
+    // Window 0: clean baseline.
+    assert!(run.step(&fabric, &mut rng).diagnosis.is_clean());
+
+    // Drain one link (fabric + plan in lockstep), then break another
+    // for real. The drain window must localize the real failure only.
+    let down = TopologyEvent::LinkDown { link: drained };
+    ChurnSchedule::apply_to_fabric(&mut fabric, &down);
+    run.apply(&down).unwrap();
+    fabric.set_discipline_both(faulty, LossDiscipline::RandomPartial { rate: 0.5 });
+
+    for w in 1..=3 {
+        let result = run.step(&fabric, &mut rng);
+        let suspects = result.diagnosis.suspect_links();
+        assert!(
+            suspects.contains(&faulty),
+            "window {w}: real failure missed mid-drain, suspects {suspects:?}"
+        );
+        assert!(
+            !suspects.contains(&drained),
+            "window {w}: drained link blamed, suspects {suspects:?}"
+        );
+    }
+
+    // Recovery: the repaired link is probed again and stays clean; the
+    // real failure is still on the books.
+    let up = TopologyEvent::LinkUp { link: drained };
+    ChurnSchedule::apply_to_fabric(&mut fabric, &up);
+    run.apply(&up).unwrap();
+    let result = run.step(&fabric, &mut rng);
+    let suspects = result.diagnosis.suspect_links();
+    assert!(suspects.contains(&faulty), "suspects {suspects:?}");
+    assert!(!suspects.contains(&drained), "suspects {suspects:?}");
+}
+
+#[test]
+fn drain_window_accuracy_survives_the_pipeline() {
+    // The same mid-drain accuracy contract through run_pipelined: churn
+    // scripted into the run, a real partial failure on the fabric.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let drained = ft.ea_link(0, 0, 0);
+    let faulty = ft.ac_link(2, 1, 0);
+    let mut fabric = Fabric::quiet(ft.as_ref());
+    // The drained link drops traffic for the whole run (as a drained
+    // cable would); the plan routes around it from window 1 on.
+    fabric.set_discipline_both(drained, LossDiscipline::Full);
+    fabric.set_discipline_both(faulty, LossDiscipline::RandomPartial { rate: 0.5 });
+
+    let script = Script::new().topology(1, TopologyEvent::LinkDown { link: drained });
+    let mut run = Detector::new(ft.clone() as SharedTopology, SystemConfig::default()).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xD12B);
+    let results = run
+        .run_pipelined(
+            &fabric,
+            4,
+            &script,
+            &detector::system::PipelineConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+
+    // Windows 1.. run with the drain in force: the real failure
+    // surfaces, the drained link never does.
+    for w in &results[1..] {
+        let suspects = w.diagnosis.suspect_links();
+        assert!(
+            suspects.contains(&faulty),
+            "window {}: real failure missed mid-drain, suspects {suspects:?}",
+            w.window
+        );
+        assert!(
+            !suspects.contains(&drained),
+            "window {}: drained link blamed, suspects {suspects:?}",
+            w.window
+        );
+    }
+}
+
+#[test]
 fn redundant_events_keep_pinglist_versions_stable() {
     // A delta that changes nothing must not re-dispatch pinglists — the
     // re-binding seam: versions stay, cached pinger bindings stay valid.

@@ -1,0 +1,256 @@
+//! The scenario harness proving the pipelined scheduler equivalent to
+//! the sequential `step()` oracle.
+//!
+//! `Detector::run_pipelined` overlaps probe dispatch, report collection
+//! and diagnosis across windows on worker threads; this harness asserts
+//! that under arbitrary combinations of
+//!
+//! * **loss** — random per-link disciplines on the fabric,
+//! * **churn** — scripted `TopologyEvent`s re-planning mid-run,
+//! * **pinger failure** — scripted watchdog health marks,
+//! * **cycle-boundary refreshes** — a short controller cycle so matrix
+//!   refreshes land inside the run,
+//!
+//! the pipelined run produces exactly the per-window `DiagnosisReady`
+//! results and the same totally ordered `RuntimeEvent` stream as driving
+//! `step()` sequentially over the same script — the only tolerated
+//! difference being the wall-clock `replan_micros` field of
+//! `PlanUpdated`.
+
+use std::sync::Arc;
+
+use detector::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A short cycle (two 30-second windows) so refreshes fire mid-run.
+fn config() -> SystemConfig {
+    SystemConfig {
+        cycle_s: 60,
+        ..SystemConfig::default()
+    }
+}
+
+fn detector(ft: &Arc<Fattree>, sink: CollectingSink) -> Detector {
+    Detector::builder(ft.clone() as SharedTopology)
+        .config(config())
+        .sink(Box::new(sink))
+        .build()
+        .expect("boot")
+}
+
+/// Decodes one raw `(kind, target)` pair into a scripted action. Small
+/// target ranges make down/up and unhealthy/healthy collisions likely.
+fn decode_action(ft: &Fattree, kind: u8, target: u16) -> ScriptAction {
+    let probe_links = ft.probe_links() as u32;
+    let switches = ft.graph().num_switches() as u32;
+    match kind % 6 {
+        0 => ScriptAction::Topology(TopologyEvent::LinkDown {
+            link: LinkId(u32::from(target) % probe_links),
+        }),
+        1 => ScriptAction::Topology(TopologyEvent::LinkUp {
+            link: LinkId(u32::from(target) % probe_links),
+        }),
+        2 => ScriptAction::Topology(TopologyEvent::SwitchDrain {
+            switch: NodeId(u32::from(target) % switches),
+        }),
+        3 => ScriptAction::Topology(TopologyEvent::SwitchUndrain {
+            switch: NodeId(u32::from(target) % switches),
+        }),
+        4 => ScriptAction::MarkUnhealthy(sample_server(ft, target)),
+        _ => ScriptAction::MarkHealthy(sample_server(ft, target)),
+    }
+}
+
+fn sample_server(ft: &Fattree, target: u16) -> NodeId {
+    let t = u32::from(target);
+    let k = ft.k();
+    let half = ft.half();
+    ft.server(t % k, (t / k) % half, (t / (k * half)) % half)
+}
+
+/// Decodes a raw failure triple into a fabric loss discipline.
+fn decode_failure(ft: &Fattree, link: u16, kind: u8, level: u8) -> (LinkId, LossDiscipline) {
+    let l = LinkId(u32::from(link) % ft.probe_links() as u32);
+    let disc = match kind % 3 {
+        0 => LossDiscipline::Full,
+        1 => LossDiscipline::RandomPartial {
+            rate: 0.1 + f64::from(level % 8) / 10.0,
+        },
+        _ => LossDiscipline::DeterministicPartial {
+            fraction: 0.2 + f64::from(level % 6) / 10.0,
+            salt: u64::from(level),
+        },
+    };
+    (l, disc)
+}
+
+/// Zeroes the wall-clock fields (`RuntimeEvent::normalized`) so streams
+/// from different executions compare equal.
+fn normalize(events: Vec<RuntimeEvent>) -> Vec<RuntimeEvent> {
+    events.iter().map(RuntimeEvent::normalized).collect()
+}
+
+/// Runs the same scenario sequentially and pipelined, asserting equal
+/// window results, equal (normalized) event streams, and equal final
+/// detector state.
+fn check_equivalence(
+    ft: Arc<Fattree>,
+    failures: &[(u16, u8, u8)],
+    raw_script: &[(u8, u8, u16)],
+    windows: u64,
+    seed: u64,
+    pipeline: &PipelineConfig,
+) {
+    let mut fabric = Fabric::new(ft.as_ref(), seed ^ 0xFAB);
+    for &(link, kind, level) in failures {
+        let (l, d) = decode_failure(&ft, link, kind, level);
+        fabric.set_discipline_both(l, d);
+    }
+    let script = raw_script
+        .iter()
+        .fold(Script::new(), |s, &(window, kind, target)| {
+            s.at(
+                u64::from(window) % windows,
+                decode_action(&ft, kind, target),
+            )
+        });
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = detector(&ft, seq_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let seq_results = seq
+        .run_scripted(&fabric, windows, &script, &mut rng)
+        .expect("sequential oracle");
+
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = detector(&ft, pipe_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pipe_results = pipe
+        .run_pipelined(&fabric, windows, &script, pipeline, &mut rng)
+        .expect("pipelined run");
+
+    assert_eq!(
+        seq_results, pipe_results,
+        "window results diverge (script {raw_script:?}, failures {failures:?})"
+    );
+    assert_eq!(
+        normalize(seq_sink.events()),
+        normalize(pipe_sink.events()),
+        "event streams diverge (script {raw_script:?}, failures {failures:?})"
+    );
+    assert_eq!(seq.now_s(), pipe.now_s());
+    assert_eq!(seq.epoch(), pipe.epoch());
+    assert_eq!(seq.matrix().paths, pipe.matrix().paths);
+    assert_eq!(seq.matrix().uncoverable, pipe.matrix().uncoverable);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The core property: any loss pattern + churn/health script +
+    /// cycle refreshes ⇒ pipelined ≡ sequential, events and results.
+    #[test]
+    fn pipelined_equals_sequential(
+        failures in proptest::collection::vec((0u16..64, 0u8..3, 0u8..8), 0..3),
+        raw_script in proptest::collection::vec((0u8..6, 0u8..6, 0u16..64), 0..6),
+        seed in 0u64..1_000,
+        workers in 1usize..5,
+        depth in 1usize..4,
+    ) {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let pipeline = PipelineConfig { probe_workers: workers, depth };
+        // 5 windows at cycle_s = 60 ⇒ refreshes inside the run at
+        // windows 2 and 4.
+        check_equivalence(ft, &failures, &raw_script, 5, seed, &pipeline);
+    }
+}
+
+#[test]
+fn cycle_boundary_refreshes_survive_the_pipeline() {
+    // A targeted regression for the refresh path: no churn, no loss —
+    // just the controller cycle. Both runs must emit identical
+    // CycleRefreshed events (same windows, same versions).
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let fabric = Fabric::quiet(ft.as_ref());
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = detector(&ft, seq_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(7);
+    seq.run_scripted(&fabric, 6, &Script::new(), &mut rng)
+        .unwrap();
+
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = detector(&ft, pipe_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(7);
+    pipe.run_pipelined(
+        &fabric,
+        6,
+        &Script::new(),
+        &PipelineConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+
+    let refreshes = |events: Vec<RuntimeEvent>| -> Vec<(u64, u64)> {
+        events
+            .into_iter()
+            .filter_map(|e| match e {
+                RuntimeEvent::CycleRefreshed {
+                    window, version, ..
+                } => Some((window, version)),
+                _ => None,
+            })
+            .collect()
+    };
+    let seq_refreshes = refreshes(seq_sink.events());
+    assert_eq!(
+        seq_refreshes.iter().map(|(w, _)| *w).collect::<Vec<_>>(),
+        vec![2, 4],
+        "cycle_s = 60 must refresh exactly at windows 2 and 4"
+    );
+    assert_eq!(seq_refreshes, refreshes(pipe_sink.events()));
+}
+
+#[test]
+fn unhealthy_pinger_is_skipped_identically() {
+    // Kill one pinger mid-run and revive it: both runtimes must emit the
+    // same PingerUnhealthy events and exclude the same reports.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let fabric = Fabric::new(ft.as_ref(), 21);
+    let victim = ft.server(0, 0, 0);
+    let script = Script::new()
+        .mark_unhealthy(1, victim)
+        .mark_healthy(3, victim);
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = detector(&ft, seq_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(13);
+    let a = seq.run_scripted(&fabric, 4, &script, &mut rng).unwrap();
+
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = detector(&ft, pipe_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(13);
+    let b = pipe
+        .run_pipelined(&fabric, 4, &script, &PipelineConfig::default(), &mut rng)
+        .unwrap();
+
+    assert_eq!(a, b);
+    let unhealthy = |events: Vec<RuntimeEvent>| -> Vec<(u64, NodeId)> {
+        events
+            .into_iter()
+            .filter_map(|e| match e {
+                RuntimeEvent::PingerUnhealthy { window, pinger } => Some((window, pinger)),
+                _ => None,
+            })
+            .collect()
+    };
+    let seq_unhealthy = unhealthy(seq_sink.events());
+    assert_eq!(seq_unhealthy, unhealthy(pipe_sink.events()));
+    // Window 1: the victim is still on the roster and is skipped with an
+    // event. Window 2 sits on a cycle boundary (cycle_s = 60), so the
+    // refreshed deployment drops the unhealthy server from pinger duty
+    // entirely — no event, it simply is not dispatched.
+    assert_eq!(seq_unhealthy, vec![(1, victim)]);
+}
