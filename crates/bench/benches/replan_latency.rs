@@ -18,6 +18,13 @@
 //! deployable matrix is included on both sides. The shim's criterion
 //! reports min/median/mean/max ± std-dev; compare medians.
 //!
+//! The run also prints a **`lists_redispatched`** accounting block: with
+//! segmented per-cell `PathId` ranges, a single-cell delta re-dispatches
+//! only the pinglists carrying the touched cell's paths (and a no-op
+//! cycle refresh re-dispatches nothing), where the former dense-id
+//! assembly shifted every later cell's ids and re-dispatched the whole
+//! fabric on any path-count change.
+//!
 //! Run with: `cargo bench --bench replan_latency`
 
 use std::collections::HashSet;
@@ -26,8 +33,8 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use detector_core::pmc::PmcConfig;
 use detector_core::types::LinkId;
-use detector_system::{ProbePlan, SharedTopology};
-use detector_topology::{Fattree, Vl2};
+use detector_system::{Detector, ProbePlan, SharedTopology, SystemConfig};
+use detector_topology::{Fattree, TopologyEvent, Vl2};
 
 /// Forces the symmetric path regardless of instance size.
 const FORCE_SYMMETRIC: u128 = 0;
@@ -127,5 +134,49 @@ fn vl2(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, fattree16, vl2);
+/// Reports the dispatch-stability metric: pinglists re-dispatched by a
+/// single-link delta (down, then up) and by a no-op re-apply, on
+/// Fattree(16) with a (1, 1) matrix. Not a timing benchmark — one run
+/// each, printed alongside the latency groups.
+fn lists_redispatched(_c: &mut Criterion) {
+    let ft = Arc::new(Fattree::new(16).expect("fattree"));
+    let dead = ft.ea_link(3, 2, 1);
+    let cfg = SystemConfig::default().with_pmc(PmcConfig::identifiable(1));
+    let mut run =
+        Detector::new(ft.clone() as SharedTopology, cfg).expect("boot Fattree(16) detector");
+
+    println!("\nlists_redispatched (Fattree(16), (1,1), single ea-link delta):");
+    let total = run.pinglists().len();
+    let down = run
+        .apply(&TopologyEvent::LinkDown { link: dead })
+        .expect("down delta");
+    println!(
+        "  link down: {:3} / {} lists re-dispatched ({} cell(s) re-solved, {} µs)",
+        down.lists_redispatched,
+        run.pinglists().len(),
+        down.stats.cells_resolved,
+        down.replan_micros
+    );
+    let noop = run
+        .apply(&TopologyEvent::LinkDown { link: dead })
+        .expect("no-op delta");
+    println!(
+        "  no-op:     {:3} / {} lists re-dispatched ({} µs)",
+        noop.lists_redispatched,
+        run.pinglists().len(),
+        noop.replan_micros
+    );
+    let up = run
+        .apply(&TopologyEvent::LinkUp { link: dead })
+        .expect("up delta");
+    println!(
+        "  link up:   {:3} / {} lists re-dispatched (restored from cache, {} µs)",
+        up.lists_redispatched,
+        run.pinglists().len(),
+        up.replan_micros
+    );
+    println!("  (boot deployment had {total} lists)");
+}
+
+criterion_group!(benches, fattree16, vl2, lists_redispatched);
 criterion_main!(benches);

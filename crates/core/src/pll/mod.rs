@@ -43,6 +43,15 @@ pub struct PllConfig {
     pub loss_ratio_filter: f64,
     /// Paths with fewer lost packets than this are treated as clean.
     pub min_loss_count: u64,
+    /// Greedy selection order. `false` (the paper-faithful default)
+    /// ranks candidates purely by explained losses, using the hit ratio
+    /// as an eligibility filter. `true` promotes *fully consistent*
+    /// links — hit ratio exactly 1, i.e. every observed path through the
+    /// link is lossy — ahead of any partially consistent candidate,
+    /// which cuts residual false positives when observations are
+    /// noiseless (evaluated by the Table 4 sweep in
+    /// `tests/accuracy_table4.rs` before being adopted as a default).
+    pub prefer_consistent: bool,
 }
 
 impl Default for PllConfig {
@@ -51,6 +60,7 @@ impl Default for PllConfig {
             hit_ratio_threshold: 0.6,
             loss_ratio_filter: 1e-3,
             min_loss_count: 1,
+            prefer_consistent: false,
         }
     }
 }
@@ -59,6 +69,13 @@ impl PllConfig {
     /// Overrides the hit-ratio threshold.
     pub fn with_hit_ratio(mut self, t: f64) -> Self {
         self.hit_ratio_threshold = t;
+        self
+    }
+
+    /// Switches the greedy to consistency-first selection (see
+    /// [`PllConfig::prefer_consistent`]).
+    pub fn consistency_first(mut self) -> Self {
+        self.prefer_consistent = true;
         self
     }
 }

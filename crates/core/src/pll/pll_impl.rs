@@ -137,10 +137,12 @@ impl ObservedMatrix {
         let obs = preprocess(observations, cfg, &HashSet::new());
         let mut link_paths: Vec<Vec<u32>> = vec![Vec::new(); matrix.num_links];
         for (oi, o) in obs.iter().enumerate() {
-            let Some(path) = matrix.paths.get(o.path.index()) else {
+            // Resolve through the matrix's id index: ids may be segmented
+            // (sparse within per-cell ranges), and observations against a
+            // retired pre-re-base id simply drop out here.
+            let Some(path) = matrix.path(o.path) else {
                 continue;
             };
-            debug_assert_eq!(path.id, o.path, "matrix paths must be densely numbered");
             for l in path.links() {
                 link_paths[l.index()].push(oi as u32);
             }
@@ -203,7 +205,11 @@ pub fn localize(
 
     while remaining > 0 {
         // Step 3: score = lost packets this link could still explain.
-        let mut best: Option<(u64, f64, LinkId)> = None;
+        // The paper-faithful order ranks by score with the hit ratio as a
+        // filter only; the consistency-first variant promotes fully
+        // consistent links (hit ratio 1: *every* observed path through
+        // the link is lossy) ahead of any partially consistent one.
+        let mut best: Option<(bool, u64, f64, LinkId)> = None;
         for &(l, h) in &hit {
             if h < cfg.hit_ratio_threshold {
                 continue;
@@ -216,17 +222,21 @@ pub fn localize(
             if score == 0 {
                 continue;
             }
+            let consistent = cfg.prefer_consistent && h >= 1.0 - 1e-12;
             let better = match best {
                 None => true,
-                Some((bs, bh, bl)) => {
-                    (score, h, std::cmp::Reverse(l)) > (bs, bh, std::cmp::Reverse(bl))
+                Some((bc, bs, bh, bl)) => {
+                    (consistent, score, h, std::cmp::Reverse(l))
+                        > (bc, bs, bh, std::cmp::Reverse(bl))
                 }
             };
             if better {
-                best = Some((score, h, l));
+                best = Some((consistent, score, h, l));
             }
         }
-        let Some((score, h, link)) = best else { break };
+        let Some((_, score, h, link)) = best else {
+            break;
+        };
 
         // Step 4: blame the link and explain its lossy paths.
         let mut explained_paths = 0u32;
@@ -367,6 +377,62 @@ mod tests {
             &PllConfig::default(),
         );
         assert!(d.is_clean());
+    }
+
+    #[test]
+    fn localizes_over_segmented_path_ids() {
+        // The same single-full-loss scenario, but with the matrix ids
+        // living in two plan-cell ranges (0.. and 16..) with headroom
+        // gaps: observations resolve through the id index.
+        let paths = vec![
+            ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+            ProbePath::from_links(1, vec![LinkId(0)]),
+            ProbePath::from_links(16, vec![LinkId(2), LinkId(3)]),
+            ProbePath::from_links(17, vec![LinkId(3)]),
+        ];
+        let m = ProbeMatrix::from_segmented(4, paths);
+        let d = localize(
+            &m,
+            &obs(&[(0, 100, 100), (1, 100, 100), (16, 100, 0), (17, 100, 0)]),
+            &PllConfig::default(),
+        );
+        assert_eq!(d.suspect_links(), vec![LinkId(0)]);
+        // A retired (unknown) id never aliases another row: its losses
+        // surface as unexplained instead of blaming some other path's
+        // links.
+        let d = localize(
+            &m,
+            &obs(&[(7, 100, 100), (16, 100, 0), (17, 100, 0)]),
+            &PllConfig::default(),
+        );
+        assert!(d.suspects.is_empty());
+        assert_eq!(d.unexplained_paths, vec![PathId(7)]);
+    }
+
+    #[test]
+    fn consistency_first_prefers_fully_consistent_links() {
+        // Link 0 lies on p0, p1 (lossy) and p2 (clean): hit ratio 2/3,
+        // score 200. Links 1 and 2 are fully consistent (hit ratio 1)
+        // with score 100 each. The paper-faithful order blames link 0
+        // alone; consistency-first blames exactly the consistent pair.
+        let paths = vec![
+            ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+            ProbePath::from_links(1, vec![LinkId(0), LinkId(2)]),
+            ProbePath::from_links(2, vec![LinkId(0)]),
+        ];
+        let m = ProbeMatrix::from_paths(3, paths);
+        let window = [(0u32, 100u64, 100u64), (1, 100, 100), (2, 100, 0)];
+
+        let score_first = localize(&m, &obs(&window), &PllConfig::default());
+        assert_eq!(score_first.suspect_links(), vec![LinkId(0)]);
+
+        let consistency_first =
+            localize(&m, &obs(&window), &PllConfig::default().consistency_first());
+        assert_eq!(
+            consistency_first.suspect_links(),
+            vec![LinkId(1), LinkId(2)]
+        );
+        assert!(consistency_first.unexplained_paths.is_empty());
     }
 
     #[test]

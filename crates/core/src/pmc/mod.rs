@@ -38,6 +38,7 @@ pub use state::{Eval, SelectionState};
 pub use verify::{max_identifiability, min_coverage, verify, VerifyReport};
 pub use virtual_links::ExtendedUniverse;
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use crate::types::{LinkId, PathId, ProbePath};
@@ -197,29 +198,72 @@ pub struct Achieved {
     pub targets_met: bool,
 }
 
+/// How a [`ProbeMatrix`] resolves a [`PathId`] to its row.
+///
+/// Constructed matrices re-number their rows densely, so the id *is* the
+/// row index. Incrementally maintained plans instead allocate each
+/// subproblem a stable [`PathIdRange`](crate::types::PathIdRange) and
+/// leave gaps between cells (headroom), so a row lookup goes through an
+/// explicit id → row map. Consumers never see the difference: both forms
+/// answer [`ProbeMatrix::path`] / [`ProbeMatrix::row_of`].
+#[derive(Clone, Debug)]
+enum PathIndex {
+    /// `paths[i].id == PathId(i)`: the id is the row index.
+    Dense,
+    /// Segmented (sparse-within-range) ids: explicit id → row map.
+    Sparse(HashMap<PathId, u32>),
+}
+
 /// A constructed probe matrix: the selected probe paths plus metadata.
 #[derive(Clone, Debug)]
 pub struct ProbeMatrix {
     /// Size of the physical link universe (links are `0..num_links`).
     pub num_links: usize,
-    /// Selected probe paths, re-numbered densely from 0.
+    /// Selected probe paths. Ids are unique but not necessarily dense:
+    /// [`ProbeMatrix::from_paths`] re-numbers from 0 while
+    /// [`ProbeMatrix::from_segmented`] keeps the caller's (range-based)
+    /// ids. Resolve an id with [`ProbeMatrix::path`] instead of indexing
+    /// `paths` by `id.index()`.
     pub paths: Vec<ProbePath>,
     /// Targets achieved by the construction.
     pub achieved: Achieved,
     /// Links of the universe that no candidate path covered (these can
     /// never be monitored by this candidate set).
     pub uncoverable: Vec<LinkId>,
+    /// Resolves path ids to rows (dense or segmented).
+    index: PathIndex,
 }
 
 impl ProbeMatrix {
     /// Builds a probe matrix directly from externally selected paths
     /// (used by the baseline systems, whose "selection" is all-pairs).
+    /// Paths are re-numbered densely from 0.
     pub fn from_paths(num_links: usize, paths: Vec<ProbePath>) -> Self {
         let paths: Vec<ProbePath> = paths
             .into_iter()
             .enumerate()
             .map(|(i, p)| p.with_id(PathId(i as u32)))
             .collect();
+        Self::assemble(num_links, paths, PathIndex::Dense)
+    }
+
+    /// Builds a probe matrix from paths that keep their own (segmented)
+    /// ids — the incremental planner's assembly path, where each plan
+    /// cell numbers its paths inside a stable
+    /// [`PathIdRange`](crate::types::PathIdRange) and the ranges leave
+    /// headroom gaps between cells. Ids must be unique; row order is the
+    /// caller's path order (cell order, not id order — a re-based cell's
+    /// range may sort after a later cell's).
+    pub fn from_segmented(num_links: usize, paths: Vec<ProbePath>) -> Self {
+        let mut index: HashMap<PathId, u32> = HashMap::with_capacity(paths.len());
+        for (row, p) in paths.iter().enumerate() {
+            let prev = index.insert(p.id, row as u32);
+            debug_assert!(prev.is_none(), "duplicate path id {}", p.id);
+        }
+        Self::assemble(num_links, paths, PathIndex::Sparse(index))
+    }
+
+    fn assemble(num_links: usize, paths: Vec<ProbePath>, index: PathIndex) -> Self {
         let mut covered = vec![false; num_links];
         for p in &paths {
             for l in p.links() {
@@ -241,7 +285,24 @@ impl ProbeMatrix {
                 targets_met: false,
             },
             uncoverable,
+            index,
         }
+    }
+
+    /// The row index of the path with id `id`, if deployed.
+    pub fn row_of(&self, id: PathId) -> Option<usize> {
+        match &self.index {
+            PathIndex::Dense => (id.index() < self.paths.len()).then(|| id.index()),
+            PathIndex::Sparse(map) => map.get(&id).map(|&row| row as usize),
+        }
+    }
+
+    /// The path with id `id`, if deployed. Unknown ids (e.g. counters
+    /// reported against a pre-re-base pinglist) resolve to `None` —
+    /// segmented allocation never reuses a retired id within a run, so a
+    /// stale id can be dropped but can never alias another path.
+    pub fn path(&self, id: PathId) -> Option<&ProbePath> {
+        self.row_of(id).map(|row| &self.paths[row])
     }
 
     /// Overrides the achieved targets (used by external constructors, e.g.
@@ -448,6 +509,7 @@ pub(crate) fn merge_solutions(
             targets_met,
         },
         uncoverable,
+        index: PathIndex::Dense,
     }
 }
 
@@ -563,6 +625,39 @@ mod tests {
             .collect();
         let res = construct(97, candidates, &cfg);
         assert!(matches!(res, Err(PmcError::Timeout { .. })));
+    }
+
+    #[test]
+    fn segmented_matrix_resolves_sparse_ids() {
+        // Two "cells" with ranges 0..4 and 8..12, partially filled: the
+        // ids are sparse overall but resolve through the index layer.
+        let paths = vec![
+            ProbePath::from_links(0, vec![LinkId(0)]),
+            ProbePath::from_links(1, vec![LinkId(1)]),
+            ProbePath::from_links(8, vec![LinkId(2)]),
+            ProbePath::from_links(9, vec![LinkId(0), LinkId(2)]),
+        ];
+        let m = ProbeMatrix::from_segmented(3, paths);
+        assert_eq!(m.num_paths(), 4);
+        assert_eq!(m.row_of(PathId(8)), Some(2));
+        assert_eq!(m.path(PathId(9)).unwrap().links(), &[LinkId(0), LinkId(2)]);
+        // Ids in the headroom gap (and retired ids) resolve to nothing.
+        assert_eq!(m.row_of(PathId(2)), None);
+        assert_eq!(m.path(PathId(4)), None);
+        assert!(m.uncoverable.is_empty());
+        // The link index speaks segmented ids too.
+        let idx = m.link_index();
+        assert_eq!(idx[2], vec![PathId(8), PathId(9)]);
+    }
+
+    #[test]
+    fn dense_matrix_id_lookup_is_positional() {
+        let m = construct(3, fig3_candidates(), &PmcConfig::identifiable(1)).unwrap();
+        for (row, p) in m.paths.iter().enumerate() {
+            assert_eq!(m.row_of(p.id), Some(row));
+            assert_eq!(m.path(p.id), Some(p));
+        }
+        assert_eq!(m.path(PathId(m.num_paths() as u32)), None);
     }
 
     #[test]

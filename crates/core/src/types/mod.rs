@@ -4,6 +4,6 @@ mod ids;
 mod observation;
 mod path;
 
-pub use ids::{LinkId, NodeId, PathId};
+pub use ids::{LinkId, NodeId, PathId, PathIdRange};
 pub use observation::PathObservation;
 pub use path::ProbePath;

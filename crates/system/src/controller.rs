@@ -42,15 +42,20 @@ impl Deployment {
     /// Carries version numbers over from a previous deployment for every
     /// pinglist whose assignment did not change, so pingers (which cache
     /// their bound routes by version) re-bind only the lists a re-plan
-    /// actually touched.
-    pub fn rebase_versions(&mut self, prev: &Deployment) {
+    /// actually touched. Returns the number of lists that *are*
+    /// re-dispatched — lists whose assignment changed or whose pinger is
+    /// new. With segmented path ids a single-cell delta leaves every
+    /// other cell's entries bit-identical, so this count covers exactly
+    /// the pinglists carrying paths of the touched cells.
+    pub fn rebase_versions(&mut self, prev: &Deployment) -> usize {
+        let mut redispatched = 0;
         for list in &mut self.pinglists {
-            if let Some(old) = prev.pinglists.iter().find(|l| l.pinger == list.pinger) {
-                if old.same_assignment(list) {
-                    list.version = old.version;
-                }
+            match prev.pinglists.iter().find(|l| l.pinger == list.pinger) {
+                Some(old) if old.same_assignment(list) => list.version = old.version,
+                _ => redispatched += 1,
             }
         }
+        redispatched
     }
 }
 
@@ -64,6 +69,13 @@ pub struct PlanUpdate {
     pub links_changed: usize,
     /// Change in the number of deployed probe paths (new − old).
     pub probes_delta: i64,
+    /// Pinglists actually re-dispatched by the update (fresh versions; a
+    /// single-cell delta re-dispatches only the lists carrying paths of
+    /// the touched cell). Filled by the runtime's dispatch step —
+    /// [`Detector::apply`](crate::Detector::apply) — since the
+    /// controller itself does not own the deployed lists; 0 when no
+    /// re-dispatch happened.
+    pub lists_redispatched: usize,
     /// Wall-clock time of the whole update (replan + matrix assembly),
     /// microseconds.
     pub replan_micros: u64,
@@ -175,6 +187,7 @@ impl Controller {
             epoch: self.view.epoch(),
             links_changed: changed.len(),
             probes_delta,
+            lists_redispatched: 0, // Known only after pinglist dispatch.
             replan_micros: t0.elapsed().as_micros() as u64,
             stats,
         })
@@ -210,16 +223,24 @@ impl Controller {
 
     fn ensure_plan(&mut self) -> Result<&ProbePlan, PmcError> {
         if self.plan.is_none() {
-            let plan = ProbePlan::with_exhaustive_limit(
+            let plan = ProbePlan::with_options(
                 self.view.shared(),
                 &self.cfg.pmc,
                 self.view.offline_links(),
                 self.exhaustive_limit,
+                self.cfg.id_headroom,
             )?;
             self.matrix = Some(plan.matrix());
             self.plan = Some(plan);
         }
         Ok(self.plan.as_ref().expect("plan built above"))
+    }
+
+    /// The partitioned probe plan, if one has been built — exposes the
+    /// per-cell id ranges ([`ProbePlan::cell_ranges`]) so tests and
+    /// operator tooling can reason about dispatch stability.
+    pub fn probe_plan(&self) -> Option<&ProbePlan> {
+        self.plan.as_ref()
     }
 
     /// The probe matrix for the current topology state (incrementally
@@ -240,14 +261,19 @@ impl Controller {
     /// state, ignoring the incremental plan. This is the equivalence
     /// oracle for the incremental path (and the "full recompute" arm of
     /// the `replan_latency` bench): by construction it runs the identical
-    /// deterministic per-subproblem procedure, so its result must equal
-    /// [`Controller::compute_matrix`] after any event sequence.
+    /// deterministic per-subproblem procedure, so its result must carry
+    /// exactly the paths of [`Controller::compute_matrix`] after any
+    /// event sequence, row for row. `PathId`s may differ: the standing
+    /// plan keeps the id ranges it was born with (id *stability* across
+    /// deltas is the point of segmented allocation), while a fresh plan
+    /// derives its ranges from the current per-cell solution sizes.
     pub fn compute_matrix_from_scratch(&self) -> Result<ProbeMatrix, PmcError> {
-        let plan = ProbePlan::with_exhaustive_limit(
+        let plan = ProbePlan::with_options(
             self.view.shared(),
             &self.cfg.pmc,
             self.view.offline_links(),
             self.exhaustive_limit,
+            self.cfg.id_headroom,
         )?;
         Ok(plan.matrix())
     }
@@ -292,6 +318,7 @@ impl Controller {
                     base_sport: self.cfg.base_sport,
                     port_range: self.cfg.port_range,
                     dport: self.cfg.dport,
+                    stamp: 0, // Sealed below, once assembly is complete.
                 });
                 lists.len() - 1
             })
@@ -396,6 +423,11 @@ impl Controller {
             }
         }
         lists.sort_by_key(|l| l.pinger);
+        // Freeze each list's content stamp once, so per-window binding
+        // checks compare two u64s instead of re-hashing every entry.
+        for list in &mut lists {
+            list.seal();
+        }
         lists
     }
 }
@@ -416,15 +448,19 @@ mod tests {
     #[test]
     fn every_matrix_path_is_assigned_twice() {
         let (_ft, d) = deployment(4);
-        let mut counts = vec![0usize; d.matrix.num_paths()];
+        // Ids are segmented (per-cell ranges with headroom), so count per
+        // id instead of indexing a dense array.
+        let mut counts: std::collections::HashMap<detector_core::types::PathId, usize> =
+            std::collections::HashMap::new();
         for l in &d.pinglists {
             for e in &l.entries {
                 if let Some(pid) = e.path {
-                    counts[pid.index()] += 1;
+                    *counts.entry(pid).or_default() += 1;
                 }
             }
         }
-        assert!(counts.iter().all(|&c| c == 2), "counts: {counts:?}");
+        assert_eq!(counts.len(), d.matrix.num_paths());
+        assert!(counts.values().all(|&c| c == 2), "counts: {counts:?}");
     }
 
     #[test]
@@ -531,7 +567,13 @@ mod tests {
         .unwrap();
         let patched = ctl.compute_matrix().unwrap();
         let scratch = ctl.compute_matrix_from_scratch().unwrap();
-        assert_eq!(patched.paths, scratch.paths);
+        // Same paths row for row; ids may differ (the patched plan keeps
+        // its birth ranges, the scratch plan derives fresh ones).
+        assert_eq!(patched.num_paths(), scratch.num_paths());
+        for (pa, pb) in patched.paths.iter().zip(&scratch.paths) {
+            assert_eq!(pa.links(), pb.links());
+            assert_eq!(pa.nodes(), pb.nodes());
+        }
         assert_eq!(patched.achieved, scratch.achieved);
         assert_eq!(patched.uncoverable, scratch.uncoverable);
     }
@@ -559,9 +601,10 @@ mod tests {
         let d1 = ctl.build_deployment(&HashSet::new()).unwrap();
         let mut d2 = ctl.build_deployment(&HashSet::new()).unwrap();
         assert!(d2.pinglists.iter().all(|l| l.version == d2.version));
-        d2.rebase_versions(&d1);
+        let redispatched = d2.rebase_versions(&d1);
         // Nothing changed between the cycles, so every list keeps its
-        // original version.
+        // original version and nothing is re-dispatched.
+        assert_eq!(redispatched, 0);
         assert!(d2.pinglists.iter().all(|l| l.version == d1.version));
     }
 

@@ -113,6 +113,11 @@ pub enum RuntimeEvent {
         links_changed: usize,
         /// Change in the number of deployed probe paths (new − old).
         probes_delta: i64,
+        /// Pinglists re-dispatched (fresh versions). With segmented path
+        /// ids a single-cell delta re-dispatches only the lists carrying
+        /// the touched cell's paths; every other pinger keeps its
+        /// version and its cached binding.
+        lists_redispatched: usize,
         /// Wall-clock cost of the incremental re-plan, microseconds.
         replan_micros: u64,
     },
@@ -164,12 +169,14 @@ impl ToJson for RuntimeEvent {
                 epoch,
                 links_changed,
                 probes_delta,
+                lists_redispatched,
                 replan_micros,
             } => Json::obj(vec![
                 ("event", Json::Str("plan_updated".into())),
                 ("epoch", Json::uint(*epoch)),
                 ("links_changed", Json::uint(*links_changed as u64)),
                 ("probes_delta", Json::Int(*probes_delta)),
+                ("lists_redispatched", Json::uint(*lists_redispatched as u64)),
                 ("replan_micros", Json::uint(*replan_micros)),
             ]),
         }
@@ -188,11 +195,13 @@ impl RuntimeEvent {
                 epoch,
                 links_changed,
                 probes_delta,
+                lists_redispatched,
                 ..
             } => RuntimeEvent::PlanUpdated {
                 epoch: *epoch,
                 links_changed: *links_changed,
                 probes_delta: *probes_delta,
+                lists_redispatched: *lists_redispatched,
                 replan_micros: 0,
             },
             other => other.clone(),
@@ -228,6 +237,7 @@ impl RuntimeEvent {
                 epoch: v.get("epoch")?.as_u64()?,
                 links_changed: v.get("links_changed")?.as_usize()?,
                 probes_delta: v.get("probes_delta")?.as_i64()?,
+                lists_redispatched: v.get("lists_redispatched")?.as_usize()?,
                 replan_micros: v.get("replan_micros")?.as_u64()?,
             }),
             _ => None,
@@ -389,6 +399,7 @@ mod tests {
                 epoch: 7,
                 links_changed: 4,
                 probes_delta: -3,
+                lists_redispatched: 5,
                 replan_micros: 1250,
             },
         ];

@@ -84,7 +84,7 @@ pub use diagnoser::{Diagnoser, DiagnosisEvent};
 pub use events::{CollectingSink, EventSink, JsonLinesSink, RuntimeEvent, WindowResult};
 pub use pinger::{batch_seed, Pinger, PingerBatch, PingerCostModel};
 pub use pinglist::{PingEntry, Pinglist};
-pub use planner::{ProbePlan, ReplanStats, EXHAUSTIVE_LIMIT};
+pub use planner::{IdHeadroom, ProbePlan, ReplanStats, EXHAUSTIVE_LIMIT};
 pub use report::{PathCounters, PingerReport, ReportStore};
 pub use responder::Responder;
 pub use runtime::{BuildError, Detector, DetectorBuilder};
@@ -128,6 +128,12 @@ pub struct SystemConfig {
     pub pmc: PmcConfig,
     /// Loss-localization settings.
     pub pll: PllConfig,
+    /// Headroom policy for the probe plan's per-cell `PathId` ranges:
+    /// how much id slack each plan cell reserves so churn re-solves stay
+    /// inside their range (no re-dispatch of other cells' pinglists).
+    /// [`IdHeadroom::NONE`] makes every growth a re-base, which is how
+    /// the re-base path is exercised in tests.
+    pub id_headroom: IdHeadroom,
 }
 
 impl Default for SystemConfig {
@@ -152,6 +158,7 @@ impl Default for SystemConfig {
                 min_loss_count: 2,
                 ..PllConfig::default()
             },
+            id_headroom: IdHeadroom::default(),
         }
     }
 }

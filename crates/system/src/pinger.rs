@@ -17,6 +17,10 @@ pub struct Pinger {
     list: Pinglist,
     /// Resolved routes, one per pinglist entry.
     routes: Vec<Route>,
+    /// [`Pinglist::stamp`] of the *dispatched* list (before any
+    /// unresolvable entries were dropped) — half of the binding-cache
+    /// key, see [`Pinger::bound_to`].
+    stamp: u64,
 }
 
 impl Pinger {
@@ -25,6 +29,7 @@ impl Pinger {
     /// (e.g. stale after a topology change) are dropped, as a production
     /// pinger would on a dispatch error.
     pub fn bind(list: Pinglist, graph: &Dcn) -> Self {
+        let stamp = list.stamp;
         let mut kept = Pinglist {
             entries: Vec::new(),
             ..list.clone()
@@ -36,7 +41,11 @@ impl Pinger {
                 kept.entries.push(e);
             }
         }
-        Self { list: kept, routes }
+        Self {
+            list: kept,
+            routes,
+            stamp,
+        }
     }
 
     /// The pinger server.
@@ -49,6 +58,17 @@ impl Pinger {
     /// incremental re-plan leaves untouched lists at their old version).
     pub fn version(&self) -> u64 {
         self.list.version
+    }
+
+    /// True when this binding was made for exactly `list` — same version
+    /// *and* same sealed content stamp (two `u64` compares; the stamp is
+    /// frozen by [`Pinglist::seal`] at dispatch, not re-hashed here).
+    /// The runtime keys its binding cache on this pair rather than the
+    /// version alone, so a cycle refresh can never serve routes or
+    /// `PathId`s from a pre-re-base binding even if a dispatch path
+    /// ever re-minted a version number.
+    pub fn bound_to(&self, list: &Pinglist) -> bool {
+        self.list.version == list.version && self.stamp == list.stamp
     }
 
     /// Number of bound entries.
@@ -170,9 +190,16 @@ impl PingerBatch {
         self.inner.server()
     }
 
-    /// The version of the bound pinglist (cache key for re-binding).
+    /// The version of the bound pinglist (half of the re-binding cache
+    /// key; see [`PingerBatch::bound_to`]).
     pub fn version(&self) -> u64 {
         self.inner.version()
+    }
+
+    /// True when this binding was made for exactly `list` (version and
+    /// content stamp both match) — the binding-cache validity check.
+    pub fn bound_to(&self, list: &Pinglist) -> bool {
+        self.inner.bound_to(list)
     }
 
     /// Number of bound entries.
@@ -283,7 +310,7 @@ mod tests {
             ft.edge(1, 0),
             responder,
         ];
-        let list = Pinglist {
+        let mut list = Pinglist {
             version: 1,
             pinger,
             entries: vec![PingEntry {
@@ -296,7 +323,9 @@ mod tests {
             base_sport: 33000,
             port_range: 16,
             dport: 53533,
+            stamp: 0,
         };
+        list.seal();
         (list, Fabric::quiet(ft))
     }
 
@@ -420,6 +449,53 @@ mod tests {
         assert_ne!(s, batch_seed(7, NodeId(2)));
         assert_ne!(s, batch_seed(8, NodeId(1)));
         assert_eq!(s, batch_seed(7, NodeId(1)));
+    }
+
+    #[test]
+    fn binding_is_keyed_on_version_and_content() {
+        // The binding-cache validity check must reject a list whose
+        // version matches but whose content differs — e.g. a cycle
+        // refresh serving a version that was minted before a cell
+        // re-base changed the entries' PathIds. A version-only key would
+        // hand out routes bound to the retired ids.
+        let ft = Fattree::new(4).unwrap();
+        let (list, _fabric) = setup(&ft);
+        let batch = PingerBatch::bind(list.clone(), ft.graph());
+        assert!(batch.bound_to(&list), "identical list must hit the cache");
+
+        // Same version, different content (the entry's path id moved to
+        // a fresh range): the cache must miss.
+        let mut rebased = list.clone();
+        rebased.entries[0].path = Some(PathId(64));
+        rebased.seal();
+        assert_eq!(rebased.version, list.version);
+        assert!(
+            !batch.bound_to(&rebased),
+            "a pre-re-base binding must not serve re-based ids"
+        );
+
+        // Different version, same content: also a miss (the version is
+        // half of the key; dispatch bumps it only on content changes, so
+        // honoring it keeps the check conservative).
+        let mut bumped = list.clone();
+        bumped.version += 1;
+        assert!(!batch.bound_to(&bumped));
+
+        // The stamp is computed over the *dispatched* list, so a list
+        // with unresolvable (dropped-at-bind) entries still validates
+        // against what was dispatched, not against the filtered copy.
+        let mut with_bad_entry = list.clone();
+        with_bad_entry.entries.push(PingEntry {
+            path: Some(PathId(1)),
+            route: vec![ft.server(0, 0, 0), ft.server(3, 1, 1)], // Not adjacent.
+            responder: ft.server(3, 1, 1),
+            waypoint: None,
+        });
+        with_bad_entry.seal();
+        let partial = PingerBatch::bind(with_bad_entry.clone(), ft.graph());
+        assert_eq!(partial.num_entries(), 1, "bad entry dropped at bind");
+        assert!(partial.bound_to(&with_bad_entry));
+        assert!(!partial.bound_to(&list));
     }
 
     #[test]

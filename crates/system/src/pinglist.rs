@@ -6,11 +6,13 @@
 //! configuration), and the sending interval. The paper serializes these as
 //! XML files fetched over HTTP; we serialize with serde.
 
+use std::hash::{Hash, Hasher};
+
 use detector_core::types::{NodeId, PathId};
 use serde::{Deserialize, Serialize};
 
 /// One probe assignment within a pinglist.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PingEntry {
     /// Probe-matrix path this entry exercises; `None` for in-rack probes
     /// (server ↔ ToR links are monitored separately, §3.1).
@@ -41,6 +43,13 @@ pub struct Pinglist {
     pub port_range: u16,
     /// Responder port.
     pub dport: u16,
+    /// Cached [`Pinglist::content_stamp`] of this list, set by
+    /// [`Pinglist::seal`] when the controller finishes assembling the
+    /// assignment. Together with `version` it forms the pinger-binding
+    /// cache key — two cheap `u64` compares per window instead of
+    /// re-hashing every entry. `0` means "unsealed": a binding check
+    /// against it conservatively re-binds.
+    pub stamp: u64,
 }
 
 impl Pinglist {
@@ -60,6 +69,32 @@ impl Pinglist {
             && self.base_sport == other.base_sport
             && self.port_range == other.port_range
             && self.dport == other.dport
+    }
+
+    /// A stamp over the list's *content* — every assignment-relevant
+    /// field except the version. Together with the version it forms the
+    /// pinger-binding cache key: a binding is served only for a list
+    /// whose `(version, stamp)` both match, so a cycle refresh (or any
+    /// dispatch path that ever re-minted a version) cannot serve routes
+    /// and `PathId`s from a pre-re-base binding.
+    pub fn content_stamp(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.pinger.hash(&mut h);
+        self.entries.hash(&mut h);
+        self.interval_us.hash(&mut h);
+        self.base_sport.hash(&mut h);
+        self.port_range.hash(&mut h);
+        self.dport.hash(&mut h);
+        h.finish()
+    }
+
+    /// Freezes [`Pinglist::content_stamp`] into [`Pinglist::stamp`].
+    /// The controller seals every list once at assembly; binding checks
+    /// then compare the cached value instead of re-hashing the entries
+    /// every window. Any dispatch path that mutates entries afterwards
+    /// must re-seal.
+    pub fn seal(&mut self) {
+        self.stamp = self.content_stamp();
     }
 }
 
@@ -89,6 +124,7 @@ mod tests {
             base_sport: 33000,
             port_range: 16,
             dport: 53533,
+            stamp: 0,
         }
     }
 

@@ -26,8 +26,21 @@
 //!
 //! Determinism makes incremental and from-scratch planning agree exactly:
 //! a patched plan and a fresh [`ProbePlan::new`] over the same offline
-//! set run the identical per-cell procedure, so their matrices are equal
-//! path for path (asserted by the `live_topology` property tests).
+//! set run the identical per-cell procedure, so their matrices carry the
+//! same paths, path for path (asserted by the `live_topology` property
+//! tests).
+//!
+//! # Segmented path-id allocation
+//!
+//! Every cell owns a stable [`PathIdRange`]: its paths are numbered
+//! densely from the range's base, and the range reserves *headroom*
+//! (IdHeadroom) beyond the current path count. A re-solve that
+//! changes one cell's path count therefore never shifts any other cell's
+//! ids — pinglists of untouched cells stay bit-identical and are not
+//! re-dispatched. Only when a cell's solution outgrows its capacity is
+//! the cell *re-based* onto a fresh range allocated past every existing
+//! one ([`ReplanStats::cells_rebased`]); retired ranges are never reused
+//! within a plan's lifetime, so a stale id can never alias a live path.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -37,13 +50,47 @@ use detector_core::pmc::{
     run_indexed_parallel, Achieved, ExcludingProvider, PmcConfig, PmcError, ProbeMatrix,
     SubSolution, Subproblem,
 };
-use detector_core::types::{LinkId, ProbePath};
+use detector_core::types::{LinkId, PathIdRange, ProbePath};
 use detector_topology::{BaseComponent, SharedTopology};
 
 /// Below this many original paths the planner materializes the full
 /// candidate set; above it, the symmetry plan is used (same threshold the
 /// controller has always applied).
 pub const EXHAUSTIVE_LIMIT: u128 = 300_000;
+
+/// Headroom policy for per-cell [`PathIdRange`]s: how much slack a
+/// cell's range reserves beyond its current path count, so ordinary
+/// churn re-solves stay inside the range and never force a re-base.
+///
+/// A range for `len` paths gets `len + max(len · pct / 100, min)` ids.
+/// The defaults (50 %, minimum 8) absorb any realistic growth of a
+/// restricted re-solve; [`IdHeadroom::NONE`] reserves nothing, making
+/// every growth an overflow — which is how the re-base path is tested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdHeadroom {
+    /// Slack as a percentage of the cell's path count.
+    pub pct: u32,
+    /// Minimum slack in ids, regardless of cell size.
+    pub min: u32,
+}
+
+impl Default for IdHeadroom {
+    fn default() -> Self {
+        Self { pct: 50, min: 8 }
+    }
+}
+
+impl IdHeadroom {
+    /// No headroom at all: capacity equals the current path count.
+    pub const NONE: Self = Self { pct: 0, min: 0 };
+
+    /// Range capacity for a cell currently holding `len` paths.
+    pub fn capacity(&self, len: usize) -> u32 {
+        let len = len as u64;
+        let slack = (len * u64::from(self.pct) / 100).max(u64::from(self.min));
+        u32::try_from(len + slack).expect("path-id space exhausted")
+    }
+}
 
 /// Where a cell's candidates come from when it must be re-solved.
 #[derive(Clone, Debug)]
@@ -73,6 +120,9 @@ struct PlanCell {
     /// Cached pristine (no-exclusion) solution for O(1) restore; filled
     /// lazily for cells that were born with exclusions.
     pristine: Option<SubSolution>,
+    /// The stable id range this cell numbers its paths from. Re-assigned
+    /// only when the solution outgrows the range (a re-base).
+    range: PathIdRange,
 }
 
 impl PlanCell {
@@ -90,6 +140,9 @@ pub struct ReplanStats {
     pub cells_restored: usize,
     /// Total cells in the plan.
     pub cells_total: usize,
+    /// Cells whose new solution overflowed their id range and were moved
+    /// to a fresh range (their paths — and only theirs — change ids).
+    pub cells_rebased: usize,
     /// Wall-clock time of the patch, microseconds.
     pub replan_micros: u64,
 }
@@ -103,6 +156,11 @@ pub struct ProbePlan {
     cells: Vec<PlanCell>,
     /// Offline probe links currently applied to the plan.
     offline: HashSet<LinkId>,
+    /// Headroom policy for cell id ranges.
+    headroom: IdHeadroom,
+    /// First path id past every range ever allocated; re-bases allocate
+    /// from here, so retired ids are never reused.
+    next_base: u32,
 }
 
 impl ProbePlan {
@@ -125,23 +183,44 @@ impl ProbePlan {
         offline: &HashSet<LinkId>,
         exhaustive_limit: u128,
     ) -> Result<Self, PmcError> {
+        Self::with_options(topo, cfg, offline, exhaustive_limit, IdHeadroom::default())
+    }
+
+    /// Fully explicit construction: materialization threshold plus the
+    /// id-range headroom policy.
+    pub fn with_options(
+        topo: SharedTopology,
+        cfg: &PmcConfig,
+        offline: &HashSet<LinkId>,
+        exhaustive_limit: u128,
+        headroom: IdHeadroom,
+    ) -> Result<Self, PmcError> {
         let num_links = topo.probe_links();
         let offline: HashSet<LinkId> = offline
             .iter()
             .copied()
             .filter(|l| l.index() < num_links)
             .collect();
-        let cells = if topo.original_path_count() <= exhaustive_limit {
+        let mut cells = if topo.original_path_count() <= exhaustive_limit {
             Self::build_materialized(&topo, cfg, &offline)?
         } else {
             Self::build_symmetric(&topo, cfg, &offline)?
         };
+        // Assign every cell its initial id range, in cell order.
+        let mut next_base = 0u32;
+        for cell in &mut cells {
+            let capacity = headroom.capacity(cell.solution.paths.len());
+            cell.range = PathIdRange::new(next_base, capacity);
+            next_base = cell.range.end();
+        }
         Ok(Self {
             topo,
             cfg: cfg.clone(),
             num_links,
             cells,
             offline,
+            headroom,
+            next_base,
         })
     }
 
@@ -213,6 +292,7 @@ impl ProbePlan {
                 source: CellSource::Materialized(sp.candidates),
                 solution,
                 pristine,
+                range: PathIdRange::default(), // Assigned by the constructor.
             });
         }
         Ok(cells)
@@ -280,6 +360,7 @@ impl ProbePlan {
                     },
                     solution,
                     pristine,
+                    range: PathIdRange::default(), // Assigned by the constructor.
                 });
             }
         }
@@ -299,6 +380,28 @@ impl ProbePlan {
     /// The offline links currently applied.
     pub fn offline(&self) -> &HashSet<LinkId> {
         &self.offline
+    }
+
+    /// The id range of every cell, in cell order. Ranges are disjoint;
+    /// a cell that was re-based sits past every older range.
+    pub fn cell_ranges(&self) -> Vec<PathIdRange> {
+        self.cells.iter().map(|c| c.range).collect()
+    }
+
+    /// Indices of the cells whose universes intersect `links` — exactly
+    /// the cells a delta over those links can touch.
+    pub fn cells_touching(&self, links: &[LinkId]) -> Vec<usize> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.intersects(links))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The headroom policy in force.
+    pub fn headroom(&self) -> IdHeadroom {
+        self.headroom
     }
 
     /// Patches the plan for a topology delta: `changed` are the links
@@ -385,7 +488,10 @@ impl ProbePlan {
                 .map(|((ci, ex), sol)| (ci, ex, Some(sol))),
         );
 
-        // Phase 2: commit.
+        // Phase 2: commit. A cell whose new solution fits its range keeps
+        // the range (its ids — and every other cell's — are unchanged);
+        // an overflowing cell is re-based onto a fresh range past every
+        // id ever allocated.
         self.offline = offline;
         for (ci, new_excluded, solution) in patches {
             let cell = &mut self.cells[ci];
@@ -398,9 +504,51 @@ impl ProbePlan {
             }
             cell.excluded = new_excluded;
             cell.solution = solution;
+            if !cell.range.fits(cell.solution.paths.len()) {
+                let capacity = self.headroom.capacity(cell.solution.paths.len());
+                match self.next_base.checked_add(capacity) {
+                    Some(end) => {
+                        cell.range = PathIdRange::new(self.next_base, capacity);
+                        self.next_base = end;
+                        stats.cells_rebased += 1;
+                    }
+                    None => {
+                        // The u32 id space is exhausted (only reachable
+                        // after ~4 billion ids of churn): compact every
+                        // range back to 0 — a one-off global re-base
+                        // that re-dispatches the whole fabric instead of
+                        // silently wrapping ids onto live low ranges.
+                        self.compact_ranges();
+                        stats.cells_rebased = self.cells.len();
+                    }
+                }
+            }
         }
         stats.replan_micros = t0.elapsed().as_micros() as u64;
         Ok(stats)
+    }
+
+    /// Reassigns every cell a fresh range from id 0 in cell order — the
+    /// id-space-exhaustion fallback. All retired-id guarantees reset:
+    /// every pinglist re-dispatches on the next deployment.
+    fn compact_ranges(&mut self) {
+        self.next_base = 0;
+        for cell in &mut self.cells {
+            let capacity = self.headroom.capacity(cell.solution.paths.len());
+            cell.range = PathIdRange::new(self.next_base, capacity);
+            self.next_base = self
+                .next_base
+                .checked_add(capacity)
+                .expect("live plan exceeds the u32 path-id space even when compacted");
+        }
+    }
+
+    /// Test hook: fast-forwards the allocator to the top of the id
+    /// space so the exhaustion fallback can be exercised without 4
+    /// billion re-bases.
+    #[cfg(test)]
+    fn exhaust_id_space_for_test(&mut self) {
+        self.next_base = u32::MAX - 1;
     }
 
     /// Re-solves one cell against an exclusion set (does not mutate the
@@ -440,10 +588,12 @@ impl ProbePlan {
         .collect()
     }
 
-    /// Assembles the current per-cell solutions into a dense probe
-    /// matrix. Offline links appear in [`ProbeMatrix::uncoverable`] (no
-    /// selected path crosses them), and the achieved targets are the
-    /// conjunction over cells.
+    /// Assembles the current per-cell solutions into a *segmented* probe
+    /// matrix: each cell's paths are numbered densely within the cell's
+    /// stable [`PathIdRange`], so the ids of a cell survive any re-solve
+    /// of another cell bit-for-bit. Offline links appear in
+    /// [`ProbeMatrix::uncoverable`] (no selected path crosses them), and
+    /// the achieved targets are the conjunction over cells.
     pub fn matrix(&self) -> ProbeMatrix {
         let total: usize = self.cells.iter().map(|c| c.solution.paths.len()).sum();
         let mut paths = Vec::with_capacity(total);
@@ -452,12 +602,20 @@ impl ProbePlan {
         for cell in &self.cells {
             targets_met &= cell.solution.targets_met;
             coverage = coverage.min(cell.solution.coverage);
-            paths.extend(cell.solution.paths.iter().cloned());
+            debug_assert!(
+                cell.range.fits(cell.solution.paths.len()),
+                "cell solution exceeds its id range (missed re-base)"
+            );
+            for (i, p) in cell.solution.paths.iter().enumerate() {
+                let mut p = p.clone();
+                p.id = cell.range.id(i);
+                paths.push(p);
+            }
         }
         if coverage == u32::MAX {
             coverage = 0;
         }
-        let matrix = ProbeMatrix::from_paths(self.num_links, paths);
+        let matrix = ProbeMatrix::from_segmented(self.num_links, paths);
         let targets_met = targets_met && matrix.uncoverable.is_empty();
         let achieved = Achieved {
             coverage,
@@ -538,6 +696,9 @@ mod tests {
         Arc::new(Fattree::new(k).unwrap())
     }
 
+    /// Bit-exact equality, ids included — holds within one plan's
+    /// lifetime (e.g. a drain/undrain round trip restores the identical
+    /// segmented matrix).
     fn assert_matrices_equal(a: &ProbeMatrix, b: &ProbeMatrix) {
         assert_eq!(a.num_links, b.num_links);
         assert_eq!(a.achieved, b.achieved);
@@ -545,6 +706,23 @@ mod tests {
         assert_eq!(a.paths.len(), b.paths.len());
         for (pa, pb) in a.paths.iter().zip(&b.paths) {
             assert_eq!(pa, pb);
+        }
+    }
+
+    /// Content equality modulo id assignment — what incremental ==
+    /// from-scratch guarantees: the same paths in the same row order. A
+    /// fresh plan derives its ranges from the current solution sizes
+    /// while a patched plan keeps its birth ranges (id *stability* is
+    /// the point), so ids may differ even though every row carries the
+    /// same links and nodes.
+    fn assert_matrices_equivalent(a: &ProbeMatrix, b: &ProbeMatrix) {
+        assert_eq!(a.num_links, b.num_links);
+        assert_eq!(a.achieved, b.achieved);
+        assert_eq!(a.uncoverable, b.uncoverable);
+        assert_eq!(a.paths.len(), b.paths.len());
+        for (i, (pa, pb)) in a.paths.iter().zip(&b.paths).enumerate() {
+            assert_eq!(pa.links(), pb.links(), "row {i} links");
+            assert_eq!(pa.nodes(), pb.nodes(), "row {i} nodes");
         }
     }
 
@@ -573,7 +751,7 @@ mod tests {
         assert_eq!(stats.cells_resolved, 1);
 
         let scratch = ProbePlan::new(topo, &cfg, &offline).unwrap();
-        assert_matrices_equal(&patched.matrix(), &scratch.matrix());
+        assert_matrices_equivalent(&patched.matrix(), &scratch.matrix());
         assert!(patched.matrix().uncoverable.contains(&dead));
     }
 
@@ -593,7 +771,7 @@ mod tests {
         assert_eq!(stats.cells_resolved, 1);
 
         let scratch = ProbePlan::with_exhaustive_limit(topo, &cfg, &offline, 0).unwrap();
-        assert_matrices_equal(&patched.matrix(), &scratch.matrix());
+        assert_matrices_equivalent(&patched.matrix(), &scratch.matrix());
     }
 
     #[test]
@@ -644,7 +822,7 @@ mod tests {
         let stats = plan.apply(&[dead], &offline).unwrap();
         assert_eq!(stats.cells_resolved, 1);
         let scratch = ProbePlan::new(topo, &cfg, &offline).unwrap();
-        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+        assert_matrices_equivalent(&plan.matrix(), &scratch.matrix());
     }
 
     #[test]
@@ -663,7 +841,7 @@ mod tests {
         let stats = plan.apply(&[], &offline).unwrap();
         assert_eq!(stats.cells_resolved, 1);
         let scratch = ProbePlan::new(topo, &cfg, &offline).unwrap();
-        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+        assert_matrices_equivalent(&plan.matrix(), &scratch.matrix());
     }
 
     #[test]
@@ -690,7 +868,7 @@ mod tests {
             "pod drain must touch every cell"
         );
         let scratch = ProbePlan::new(view.shared(), &cfg, view.offline_links()).unwrap();
-        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+        assert_matrices_equivalent(&plan.matrix(), &scratch.matrix());
 
         // And the recovery restores every cell from cache, in one patch.
         let d = view.apply(&TopologyEvent::PodAdded { pod: 0 });
@@ -721,7 +899,161 @@ mod tests {
         );
         let scratch =
             ProbePlan::with_exhaustive_limit(view.shared(), &cfg, view.offline_links(), 0).unwrap();
-        assert_matrices_equal(&plan.matrix(), &scratch.matrix());
+        assert_matrices_equivalent(&plan.matrix(), &scratch.matrix());
+    }
+
+    #[test]
+    fn single_cell_delta_keeps_every_other_cells_ids() {
+        // The dispatch-stability tentpole at plan level: a delta inside
+        // one cell leaves the ids *and* contents of every other cell's
+        // paths bit-identical, because each cell numbers its paths
+        // inside its own stable range.
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(0, 0, 0);
+        let mut plan = ProbePlan::new(topo, &cfg, &HashSet::new()).unwrap();
+        let ranges = plan.cell_ranges();
+        assert_eq!(ranges.len(), 2);
+        // Ranges are disjoint and carry headroom.
+        assert!(ranges[0].end() <= ranges[1].base);
+        let before = plan.matrix();
+
+        let touched = plan.cells_touching(&[dead]);
+        assert_eq!(touched, vec![0], "group-0 link lives in cell 0");
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+        plan.apply(&[dead], &offline).unwrap();
+        let after = plan.matrix();
+
+        // Every path of the untouched cell survives with the same id,
+        // links and nodes.
+        assert_eq!(plan.cell_ranges(), ranges, "no re-base expected");
+        let untouched = ranges[1];
+        let before_ids: Vec<_> = before
+            .paths
+            .iter()
+            .filter(|p| untouched.contains(p.id))
+            .collect();
+        assert!(!before_ids.is_empty());
+        for p in before_ids {
+            let q = after.path(p.id).expect("untouched path must survive");
+            assert_eq!(p, q, "untouched path changed across the delta");
+        }
+        // The touched cell changed within its own range only.
+        for p in &after.paths {
+            assert!(ranges.iter().any(|r| r.contains(p.id)));
+        }
+    }
+
+    #[test]
+    fn overflow_rebases_only_the_touched_cell() {
+        // Born-degraded plan with zero headroom: restoring the link
+        // grows the cell past its capacity, forcing a re-base — the
+        // touched cell moves to a fresh range past every existing id
+        // while the other cell's ids stay put.
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(0, 0, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+        let mut plan = ProbePlan::with_options(
+            topo.clone(),
+            &cfg,
+            &offline,
+            EXHAUSTIVE_LIMIT,
+            IdHeadroom::NONE,
+        )
+        .unwrap();
+        let ranges = plan.cell_ranges();
+        let before = plan.matrix();
+        let id_ceiling = ranges.iter().map(|r| r.end()).max().unwrap();
+
+        let stats = plan.apply(&[dead], &HashSet::new()).unwrap();
+        assert_eq!(stats.cells_rebased, 1, "restore must overflow: {stats:?}");
+        let after_ranges = plan.cell_ranges();
+        // The untouched cell keeps its exact range; the touched cell's
+        // fresh range starts past every previously allocated id.
+        assert_eq!(after_ranges[1], ranges[1]);
+        assert!(after_ranges[0].base >= id_ceiling);
+        let after = plan.matrix();
+        // Untouched paths are bit-identical; re-based paths are dense
+        // within the fresh range.
+        for p in before.paths.iter().filter(|p| ranges[1].contains(p.id)) {
+            assert_eq!(after.path(p.id), Some(p));
+        }
+        let rebased: Vec<_> = after
+            .paths
+            .iter()
+            .filter(|p| after_ranges[0].contains(p.id))
+            .collect();
+        assert!(!rebased.is_empty());
+        for (i, p) in rebased.iter().enumerate() {
+            assert_eq!(p.id, after_ranges[0].id(i), "ids dense within range");
+        }
+        // Retired ids resolve to nothing — never to another cell's path.
+        for p in before.paths.iter().filter(|p| ranges[0].contains(p.id)) {
+            assert!(after.path(p.id).is_none());
+        }
+        // And the re-based plan still matches a from-scratch build,
+        // content-wise.
+        let scratch = ProbePlan::new(topo, &cfg, &HashSet::new()).unwrap();
+        assert_matrices_equivalent(&after, &scratch.matrix());
+    }
+
+    #[test]
+    fn id_space_exhaustion_compacts_instead_of_wrapping() {
+        // When the next re-base would overflow u32, the plan compacts
+        // every range back to 0 instead of silently wrapping fresh ids
+        // onto live low-numbered ranges.
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(0, 0, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+        let mut plan = ProbePlan::with_options(
+            topo.clone(),
+            &cfg,
+            &offline,
+            EXHAUSTIVE_LIMIT,
+            IdHeadroom::NONE,
+        )
+        .unwrap();
+        plan.exhaust_id_space_for_test();
+
+        // The restore overflows the zero-headroom range; allocating a
+        // fresh range at the top of the id space is impossible, so the
+        // whole plan compacts.
+        let stats = plan.apply(&[dead], &HashSet::new()).unwrap();
+        assert_eq!(stats.cells_rebased, plan.num_cells());
+        let ranges = plan.cell_ranges();
+        assert_eq!(ranges[0].base, 0, "compaction restarts at id 0");
+        for w in ranges.windows(2) {
+            assert!(w[0].end() <= w[1].base, "compacted ranges overlap");
+        }
+        // Ids are well-formed and the plan still matches from-scratch.
+        let after = plan.matrix();
+        for p in &after.paths {
+            assert!(ranges.iter().any(|r| r.contains(p.id)));
+        }
+        let scratch = ProbePlan::new(topo, &cfg, &HashSet::new()).unwrap();
+        assert_matrices_equivalent(&after, &scratch.matrix());
+    }
+
+    #[test]
+    fn default_headroom_absorbs_restore_growth() {
+        // The same born-degraded restore as above, under the default
+        // policy: the growth fits inside the headroom, so nothing is
+        // re-based and nothing outside the touched cell re-dispatches.
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1);
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(0, 0, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+        let mut plan = ProbePlan::new(topo, &cfg, &offline).unwrap();
+        let ranges = plan.cell_ranges();
+        let stats = plan.apply(&[dead], &HashSet::new()).unwrap();
+        assert_eq!(stats.cells_rebased, 0, "{stats:?}");
+        assert_eq!(plan.cell_ranges(), ranges);
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub struct DetectorBuilder {
     topo: SharedTopology,
     cfg: SystemConfig,
     sinks: Vec<Box<dyn EventSink>>,
+    offline: Vec<LinkId>,
 }
 
 impl DetectorBuilder {
@@ -84,11 +85,29 @@ impl DetectorBuilder {
         self
     }
 
+    /// Seeds the topology view with links that are already known to be
+    /// down at boot (e.g. from an inventory system): the first probe
+    /// plan is born with them excluded, and the view starts at epoch 1.
+    pub fn offline_links(mut self, links: impl IntoIterator<Item = LinkId>) -> Self {
+        self.offline.extend(links);
+        self
+    }
+
     /// Validates the configuration, computes the first probe matrix and
     /// pinglists, and returns the runtime handle.
     pub fn build(self) -> Result<Detector, BuildError> {
         self.cfg.validate()?;
         let mut controller = Controller::new(self.topo.clone(), self.cfg.clone());
+        if !self.offline.is_empty() {
+            // One batch: the view absorbs every seeded LinkDown before
+            // the first (lazy) plan build, so the plan is born degraded
+            // rather than built pristine and immediately patched.
+            controller.apply_events(
+                self.offline
+                    .iter()
+                    .map(|&link| TopologyEvent::LinkDown { link }),
+            )?;
+        }
         let watchdog = Watchdog::new();
         let deployment = controller.build_deployment(watchdog.unhealthy_set())?;
         let diagnoser = Diagnoser::new(deployment.matrix.clone(), self.cfg.pll);
@@ -139,6 +158,7 @@ impl Detector {
             topo,
             cfg: SystemConfig::default(),
             sinks: Vec::new(),
+            offline: Vec::new(),
         }
     }
 
@@ -173,6 +193,13 @@ impl Detector {
         self.controller.view()
     }
 
+    /// The partitioned probe plan behind the current deployment: exposes
+    /// the per-cell `PathId` ranges and the cells a delta would touch,
+    /// so dispatch stability can be asserted from the outside.
+    pub fn probe_plan(&self) -> Option<&crate::ProbePlan> {
+        self.controller.probe_plan()
+    }
+
     /// The topology view's current epoch.
     pub fn epoch(&self) -> u64 {
         self.controller.epoch()
@@ -187,10 +214,12 @@ impl Detector {
     /// probe plan is incrementally patched (only the PMC subproblems the
     /// delta touches are re-solved), pinglists are re-dispatched — lists
     /// whose assignment is unchanged keep their version, so their pingers
-    /// are not re-bound; note that a delta which changes a subproblem's
-    /// path count shifts the dense `PathId`s of later subproblems and
-    /// forces those lists to re-dispatch too — and a
-    /// [`RuntimeEvent::PlanUpdated`] is emitted to every sink.
+    /// are not re-bound. Path ids are *segmented*: every plan cell owns a
+    /// stable `PathId` range with headroom, so a delta that changes one
+    /// cell's path count leaves every other cell's ids — and therefore
+    /// the pinglists that carry only those cells' paths — bit-identical.
+    /// A [`RuntimeEvent::PlanUpdated`] (carrying the re-dispatch count)
+    /// is emitted to every sink.
     ///
     /// # Examples
     ///
@@ -216,7 +245,7 @@ impl Detector {
             let dep = self
                 .controller
                 .build_deployment(self.watchdog.unhealthy_set())?;
-            self.install_deployment(dep);
+            update.lists_redispatched = self.install_deployment(dep);
         }
         // Report the full replan latency: view update + plan patch +
         // matrix assembly + pinglist re-dispatch.
@@ -225,6 +254,7 @@ impl Detector {
             epoch: update.epoch,
             links_changed: update.links_changed,
             probes_delta: update.probes_delta,
+            lists_redispatched: update.lists_redispatched,
             replan_micros: update.replan_micros,
         };
         for s in self.sinks.iter_mut() {
@@ -237,10 +267,11 @@ impl Detector {
     /// keep their cached pinger bindings, points the diagnoser at the new
     /// matrix, and prunes bindings of servers no longer on pinger duty.
     /// Shared by [`Detector::apply`] and the cycle refresh in
-    /// [`Detector::step`].
-    fn install_deployment(&mut self, dep: Deployment) {
-        let matrix = install_dispatched(&mut self.deployment, &mut self.bound, dep);
+    /// [`Detector::step`]. Returns the number of re-dispatched lists.
+    fn install_deployment(&mut self, dep: Deployment) -> usize {
+        let (matrix, redispatched) = install_dispatched(&mut self.deployment, &mut self.bound, dep);
         self.diagnoser.set_matrix(matrix);
+        redispatched
     }
 
     /// Scheduled detection probes per window (before loss confirmations):
@@ -331,11 +362,13 @@ impl Detector {
             }
             // Re-bind only when the dispatched list changed (§3.2's
             // idempotent pinglist refresh): an incremental re-plan leaves
-            // untouched lists at their old version.
+            // untouched lists at their old version. The check is keyed on
+            // (version, content stamp) so a refresh can never serve a
+            // pre-re-base binding.
             let needs_bind = self
                 .bound
                 .get(&list.pinger)
-                .is_none_or(|p| p.version() != list.version);
+                .is_none_or(|p| !p.bound_to(list));
             if needs_bind {
                 self.bound.insert(
                     list.pinger,
@@ -398,12 +431,12 @@ pub(crate) fn install_dispatched(
     deployment: &mut Deployment,
     bound: &mut HashMap<NodeId, Arc<PingerBatch>>,
     mut dep: Deployment,
-) -> ProbeMatrix {
-    dep.rebase_versions(deployment);
+) -> (ProbeMatrix, usize) {
+    let redispatched = dep.rebase_versions(deployment);
     *deployment = dep;
     let active: HashSet<NodeId> = deployment.pinglists.iter().map(|l| l.pinger).collect();
     bound.retain(|k, _| active.contains(k));
-    deployment.matrix.clone()
+    (deployment.matrix.clone(), redispatched)
 }
 
 #[cfg(test)]

@@ -531,11 +531,14 @@ impl Detector {
                                     break;
                                 }
                             };
+                            let mut lists_redispatched = 0;
                             if update.links_changed > 0 {
                                 match controller.build_deployment(watchdog.unhealthy_set()) {
                                     Ok(dep) => {
-                                        new_matrix =
-                                            Some(install_dispatched(deployment, bound, dep));
+                                        let (matrix, redispatched) =
+                                            install_dispatched(deployment, bound, dep);
+                                        new_matrix = Some(matrix);
+                                        lists_redispatched = redispatched;
                                     }
                                     Err(e) => {
                                         dispatch_err = Some(e);
@@ -547,6 +550,7 @@ impl Detector {
                                 epoch: update.epoch,
                                 links_changed: update.links_changed,
                                 probes_delta: update.probes_delta,
+                                lists_redispatched,
                                 replan_micros: t0.elapsed().as_micros() as u64,
                             });
                         }
@@ -582,7 +586,8 @@ impl Detector {
                 if window > 0 && start_s.is_multiple_of(cfg.cycle_s) {
                     if let Ok(dep) = controller.build_deployment(watchdog.unhealthy_set()) {
                         let version = dep.version;
-                        new_matrix = Some(install_dispatched(deployment, bound, dep));
+                        let (matrix, _) = install_dispatched(deployment, bound, dep);
+                        new_matrix = Some(matrix);
                         cycle = Some((version, deployment.matrix.num_paths()));
                     }
                 }
@@ -598,9 +603,7 @@ impl Detector {
                     if !healthy {
                         continue;
                     }
-                    let needs_bind = bound
-                        .get(&list.pinger)
-                        .is_none_or(|b| b.version() != list.version);
+                    let needs_bind = bound.get(&list.pinger).is_none_or(|b| !b.bound_to(list));
                     if needs_bind {
                         bound.insert(
                             list.pinger,

@@ -122,15 +122,17 @@ pub mod prelude {
     pub use detector_core::pmc::{
         construct, max_identifiability, min_coverage, verify, PmcConfig, ProbeMatrix,
     };
-    pub use detector_core::types::{LinkId, NodeId, PathId, PathObservation, ProbePath};
+    pub use detector_core::types::{
+        LinkId, NodeId, PathId, PathIdRange, PathObservation, ProbePath,
+    };
     pub use detector_simnet::{
         ChurnSchedule, Fabric, FailureGenerator, FailureScenario, FlowKey, LossDiscipline,
     };
     pub use detector_system::{
         BuildError, CollectingSink, ConfigError, DataPlane, Detector, DetectorBuilder, EventSink,
-        JsonLinesSink, PipelineConfig, PipelineError, PlanUpdate, ProbeOutcome, ProbePlan,
-        ReplanStats, RuntimeEvent, Script, ScriptAction, SharedTopology, SystemConfig,
-        WindowResult,
+        IdHeadroom, JsonLinesSink, Pinglist, PipelineConfig, PipelineError, PlanUpdate,
+        ProbeOutcome, ProbePlan, ReplanStats, RuntimeEvent, Script, ScriptAction, SharedTopology,
+        SystemConfig, WindowResult,
     };
     pub use detector_topology::{
         construct_symmetric, BCube, DcnTopology, Fattree, Route, TopologyDelta, TopologyEvent,

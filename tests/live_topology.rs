@@ -52,9 +52,28 @@ fn decode_event(ft: &Fattree, kind: u8, target: u16) -> TopologyEvent {
     }
 }
 
+/// Localizes a synthetic noiseless window over `matrix`: every path
+/// crossing a link of `bad` loses everything, every other path is
+/// clean. Run against the incremental and the from-scratch matrix, the
+/// suspect sets must agree — ids differ between the two, so this drives
+/// the id-index layer end to end.
+fn synthetic_suspects(matrix: &ProbeMatrix, bad: &[LinkId]) -> Vec<LinkId> {
+    let obs: Vec<PathObservation> = matrix
+        .paths
+        .iter()
+        .map(|p| {
+            let lossy = bad.iter().any(|&l| p.covers(l));
+            PathObservation::new(p.id, 100, if lossy { 100 } else { 0 })
+        })
+        .collect();
+    localize(matrix, &obs, &PllConfig::default()).suspect_links()
+}
+
 /// Applies `raw` events one by one, asserting after every epoch that the
 /// incrementally patched matrix equals a from-scratch recompute on the
-/// mutated topology.
+/// mutated topology — same paths row for row, and the same diagnosis
+/// over a synthetic failure episode (incremental == from-scratch
+/// *diagnosis*, even though the two matrices' segmented ids differ).
 fn check_equivalence(ft: Arc<Fattree>, raw: &[(u8, u16)], exhaustive_limit: u128) {
     let mut ctl = Controller::new(ft.clone() as SharedTopology, SystemConfig::default())
         .with_exhaustive_limit(exhaustive_limit);
@@ -78,6 +97,19 @@ fn check_equivalence(ft: Arc<Fattree>, raw: &[(u8, u16)], exhaustive_limit: u128
                 update.epoch
             );
         }
+        // Epoch-by-epoch diagnosis equivalence: fail the two smallest
+        // still-online links and diagnose both matrices.
+        let bad: Vec<LinkId> = (0..ft.probe_links() as u32)
+            .map(LinkId)
+            .filter(|l| !ctl.view().offline_links().contains(l))
+            .take(2)
+            .collect();
+        assert_eq!(
+            synthetic_suspects(&patched, &bad),
+            synthetic_suspects(&scratch, &bad),
+            "epoch {}: incremental and from-scratch diagnosis diverge",
+            update.epoch
+        );
     }
 }
 
@@ -107,6 +139,190 @@ proptest! {
         let ft = Arc::new(Fattree::new(6).unwrap());
         check_equivalence(ft, &raw, 0);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dispatch stability: for every single-link `TopologyEvent` delta,
+    /// the pinglist versions and `PathId`s of untouched cells are
+    /// bit-identical before and after `Detector::apply`, every
+    /// re-dispatched list actually carries a touched cell's paths, and
+    /// `PlanUpdate::lists_redispatched` accounts for exactly the lists
+    /// that re-dispatched.
+    #[test]
+    fn single_cell_deltas_leave_untouched_cells_bit_identical(
+        raw in proptest::collection::vec((0u8..2, 0u16..64), 1..6)
+    ) {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let mut run =
+            Detector::new(ft.clone() as SharedTopology, SystemConfig::default()).unwrap();
+        for &(kind, target) in &raw {
+            let link = LinkId(u32::from(target) % ft.probe_links() as u32);
+            let ev = if kind == 0 {
+                TopologyEvent::LinkDown { link }
+            } else {
+                TopologyEvent::LinkUp { link }
+            };
+
+            let (ranges, touched) = {
+                let plan = run.probe_plan().expect("plan built at boot");
+                (plan.cell_ranges(), plan.cells_touching(&[link]))
+            };
+            let untouched: Vec<PathIdRange> = ranges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !touched.contains(i))
+                .map(|(_, r)| *r)
+                .collect();
+            let before_paths: Vec<ProbePath> = run.matrix().paths.clone();
+            let before_lists: Vec<Pinglist> = run.pinglists().to_vec();
+
+            let update = run.apply(&ev).unwrap();
+
+            // Untouched cells keep their exact id ranges…
+            let after_ranges = run.probe_plan().unwrap().cell_ranges();
+            for (i, r) in ranges.iter().enumerate() {
+                if !touched.contains(&i) {
+                    assert_eq!(after_ranges[i], *r, "untouched cell {i} range moved");
+                }
+            }
+            // …and their paths, bit for bit (same id, links and nodes).
+            let after = run.matrix().clone();
+            for p in before_paths
+                .iter()
+                .filter(|p| untouched.iter().any(|r| r.contains(p.id)))
+            {
+                assert_eq!(
+                    after.path(p.id),
+                    Some(p),
+                    "untouched path {} changed across {ev:?}",
+                    p.id
+                );
+            }
+
+            // Version stability + re-dispatch accounting: a list keeps
+            // its version iff its assignment is unchanged, and the
+            // PlanUpdate counts exactly the fresh versions.
+            let mut redispatched = 0usize;
+            for list in run.pinglists() {
+                match before_lists.iter().find(|l| l.pinger == list.pinger) {
+                    Some(old) if old.same_assignment(list) => {
+                        assert_eq!(
+                            old.version, list.version,
+                            "unchanged list of {} re-versioned",
+                            list.pinger
+                        );
+                    }
+                    _ => redispatched += 1,
+                }
+            }
+            assert_eq!(
+                update.lists_redispatched, redispatched,
+                "lists_redispatched miscounts ({ev:?})"
+            );
+
+            // Minimal re-dispatch: every re-dispatched list carries at
+            // least one touched-cell path (before or after) — lists made
+            // purely of untouched-cell paths and in-rack probes never
+            // re-dispatch. Touched ranges include the post-apply ones so
+            // the check stays sound across a re-base.
+            let in_touched = |pid: PathId| {
+                touched
+                    .iter()
+                    .any(|&i| ranges[i].contains(pid) || after_ranges[i].contains(pid))
+            };
+            for list in run.pinglists() {
+                let old = before_lists.iter().find(|l| l.pinger == list.pinger);
+                if let Some(old) = old {
+                    if old.same_assignment(list) {
+                        continue;
+                    }
+                    let references_touched = old
+                        .entries
+                        .iter()
+                        .chain(&list.entries)
+                        .filter_map(|e| e.path)
+                        .any(in_touched);
+                    assert!(
+                        references_touched,
+                        "list of {} re-dispatched without touching cell(s) {touched:?} ({ev:?})",
+                        list.pinger
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fattree16_single_cell_delta_redispatches_only_the_touched_cell() {
+    // The acceptance drill: on Fattree(16) (symmetric planner, 8 group
+    // cells) a single-link delta re-solves exactly one cell and
+    // re-dispatches exactly the pinglists carrying that cell's paths —
+    // every list without them keeps its version, entries and `PathId`s
+    // bit-for-bit. (1, 1) keeps the matrix lean enough that such lists
+    // exist; the `replan_latency` bench reports the same counter.
+    let ft = Arc::new(Fattree::new(16).unwrap());
+    let dead = ft.ea_link(3, 2, 1);
+    let cfg = SystemConfig::default().with_pmc(PmcConfig::identifiable(1));
+    let mut run = Detector::new(ft.clone() as SharedTopology, cfg).unwrap();
+
+    let (ranges, touched) = {
+        let plan = run.probe_plan().expect("plan built at boot");
+        (plan.cell_ranges(), plan.cells_touching(&[dead]))
+    };
+    assert_eq!(ranges.len(), 8, "k=16 symmetric plan has h = 8 cells");
+    assert_eq!(touched.len(), 1, "an ea link lives in exactly one cell");
+    let before_lists: Vec<Pinglist> = run.pinglists().to_vec();
+    let before_paths: Vec<ProbePath> = run.matrix().paths.clone();
+
+    let update = run.apply(&TopologyEvent::LinkDown { link: dead }).unwrap();
+    assert_eq!(update.stats.cells_resolved, 1);
+    assert_eq!(update.stats.cells_rebased, 0, "headroom absorbs the delta");
+
+    // Untouched cells' paths are bit-identical.
+    let after = run.matrix().clone();
+    for (i, r) in ranges.iter().enumerate() {
+        if i == touched[0] {
+            continue;
+        }
+        for p in before_paths.iter().filter(|p| r.contains(p.id)) {
+            assert_eq!(after.path(p.id), Some(p), "untouched path {} changed", p.id);
+        }
+    }
+
+    // Exactly the touched cell's pinglists re-dispatch.
+    let touched_range = ranges[touched[0]];
+    let mut redispatched = 0usize;
+    let mut stable = 0usize;
+    for list in run.pinglists() {
+        match before_lists.iter().find(|l| l.pinger == list.pinger) {
+            Some(old) if old.same_assignment(list) => {
+                assert_eq!(old.version, list.version);
+                stable += 1;
+            }
+            other => {
+                redispatched += 1;
+                let references_touched = other
+                    .iter()
+                    .flat_map(|l| &l.entries)
+                    .chain(&list.entries)
+                    .filter_map(|e| e.path)
+                    .any(|pid| touched_range.contains(pid));
+                assert!(
+                    references_touched,
+                    "list of {} re-dispatched without touched-cell paths",
+                    list.pinger
+                );
+            }
+        }
+    }
+    assert_eq!(update.lists_redispatched, redispatched);
+    assert!(
+        stable > 0,
+        "some pinglists must survive a single-cell delta untouched"
+    );
 }
 
 #[test]

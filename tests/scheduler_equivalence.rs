@@ -168,6 +168,160 @@ proptest! {
 }
 
 #[test]
+fn cell_overflow_rebase_redispatches_only_the_touched_cell() {
+    // The re-base regression: a detector born with a link offline under
+    // a zero-headroom id policy must re-base the touched cell when the
+    // link comes back (the pristine solution outgrows the restricted
+    // range). Only that cell's pinglists re-dispatch, its ids stay dense
+    // within the fresh range, and every other cell is bit-identical.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let dead = ft.ac_link(0, 0, 0);
+    let cfg = SystemConfig {
+        id_headroom: IdHeadroom::NONE,
+        ..SystemConfig::default()
+    };
+    let mut run = Detector::builder(ft.clone() as SharedTopology)
+        .config(cfg)
+        .offline_links([dead])
+        .build()
+        .expect("degraded boot");
+
+    let (ranges, touched) = {
+        let plan = run.probe_plan().expect("plan built at boot");
+        (plan.cell_ranges(), plan.cells_touching(&[dead]))
+    };
+    assert_eq!(touched.len(), 1, "an ac link lives in exactly one cell");
+    let before_paths = run.matrix().paths.clone();
+    let before_lists: Vec<Pinglist> = run.pinglists().to_vec();
+    let id_ceiling = ranges.iter().map(|r| r.end()).max().unwrap();
+
+    let update = run.apply(&TopologyEvent::LinkUp { link: dead }).unwrap();
+    assert_eq!(
+        update.stats.cells_rebased, 1,
+        "restore must overflow the zero-headroom range: {update:?}"
+    );
+
+    let after_ranges = run.probe_plan().unwrap().cell_ranges();
+    let fresh = after_ranges[touched[0]];
+    assert!(
+        fresh.base >= id_ceiling,
+        "fresh range must sit past every retired id"
+    );
+    // Untouched cells: ranges and paths bit-identical.
+    let after = run.matrix().clone();
+    for (i, r) in ranges.iter().enumerate() {
+        if i == touched[0] {
+            continue;
+        }
+        assert_eq!(after_ranges[i], *r, "untouched cell {i} range moved");
+        for p in before_paths.iter().filter(|p| r.contains(p.id)) {
+            assert_eq!(after.path(p.id), Some(p), "untouched path {} changed", p.id);
+        }
+    }
+    // Re-based cell: ids dense within the fresh range, retired ids dead.
+    let rebased: Vec<_> = after
+        .paths
+        .iter()
+        .filter(|p| fresh.contains(p.id))
+        .collect();
+    assert!(!rebased.is_empty());
+    for (i, p) in rebased.iter().enumerate() {
+        assert_eq!(p.id, fresh.id(i), "re-based ids must be dense in range");
+    }
+    for p in before_paths
+        .iter()
+        .filter(|p| ranges[touched[0]].contains(p.id))
+    {
+        assert!(
+            after.path(p.id).is_none(),
+            "retired id {} still resolves",
+            p.id
+        );
+    }
+    // Only the touched cell's pinglists re-dispatched.
+    let mut redispatched = 0usize;
+    for list in run.pinglists() {
+        match before_lists.iter().find(|l| l.pinger == list.pinger) {
+            Some(old) if old.same_assignment(list) => {
+                assert_eq!(old.version, list.version);
+            }
+            other => {
+                redispatched += 1;
+                let touched_ref = other
+                    .iter()
+                    .flat_map(|l| &l.entries)
+                    .chain(&list.entries)
+                    .filter_map(|e| e.path)
+                    .any(|pid| ranges[touched[0]].contains(pid) || fresh.contains(pid));
+                assert!(
+                    touched_ref,
+                    "list of {} re-dispatched without touched-cell paths",
+                    list.pinger
+                );
+            }
+        }
+    }
+    assert_eq!(update.lists_redispatched, redispatched);
+    assert!(redispatched > 0, "a re-base must re-dispatch the moved ids");
+    // (At k = 4 both cells' paths blanket every pinger, so a strict
+    // subset is impossible here; `fattree16_single_cell_delta_...` in
+    // tests/live_topology.rs asserts untouched lists survive at scale.)
+
+    // And run_pipelined ≡ run_scripted still holds across the re-base:
+    // same degraded boot, the LinkUp scripted mid-run, loss on the wire.
+    let script = Script::new()
+        .topology(1, TopologyEvent::LinkUp { link: dead })
+        .topology(3, TopologyEvent::LinkDown { link: dead });
+    let mut fabric = Fabric::new(ft.as_ref(), 0xCE11);
+    fabric.set_discipline_both(
+        ft.ea_link(2, 1, 0),
+        LossDiscipline::RandomPartial { rate: 0.4 },
+    );
+    let boot = |sink: CollectingSink| {
+        Detector::builder(ft.clone() as SharedTopology)
+            .config(SystemConfig {
+                id_headroom: IdHeadroom::NONE,
+                cycle_s: 60,
+                ..SystemConfig::default()
+            })
+            .offline_links([dead])
+            .sink(Box::new(sink))
+            .build()
+            .expect("degraded boot")
+    };
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = boot(seq_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(0xAB);
+    let a = seq.run_scripted(&fabric, 5, &script, &mut rng).unwrap();
+
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = boot(pipe_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(0xAB);
+    let b = pipe
+        .run_pipelined(&fabric, 5, &script, &PipelineConfig::default(), &mut rng)
+        .unwrap();
+
+    assert_eq!(a, b, "window results diverge across the re-base");
+    assert_eq!(normalize(seq_sink.events()), normalize(pipe_sink.events()));
+    assert_eq!(seq.matrix().paths, pipe.matrix().paths);
+    // The re-base really happened inside the runs: the scripted LinkUp's
+    // PlanUpdated re-dispatched a strict, non-zero subset of the lists.
+    let redispatch_counts: Vec<usize> = seq_sink
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            RuntimeEvent::PlanUpdated {
+                lists_redispatched, ..
+            } => Some(lists_redispatched),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(redispatch_counts.len(), 2);
+    assert!(redispatch_counts[0] > 0);
+}
+
+#[test]
 fn cycle_boundary_refreshes_survive_the_pipeline() {
     // A targeted regression for the refresh path: no churn, no loss —
     // just the controller cycle. Both runs must emit identical
