@@ -14,6 +14,7 @@ pub(crate) fn run(
     cfg: &PmcConfig,
     deadline: Option<Instant>,
 ) -> Result<SubSolution, PmcError> {
+    // detlint::allow(determinism, reason = "PMC solver timeout clock; deadlines only abort, never alter a completed plan")
     let start = Instant::now();
     let mut state = SelectionState::new(&universe, cfg)?;
     let mut alive: Vec<Option<ProbePath>> = candidates

@@ -69,6 +69,7 @@ pub(crate) fn run_with_provider<P: CandidateProvider>(
     cfg: &PmcConfig,
     deadline: Option<Instant>,
 ) -> Result<SubSolution, PmcError> {
+    // detlint::allow(determinism, reason = "PMC solver timeout clock; deadlines only abort, never alter a completed plan")
     let start = Instant::now();
     let universe = provider.universe().to_vec();
     let mut state = SelectionState::new(&universe, cfg)?;

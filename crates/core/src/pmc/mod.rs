@@ -375,6 +375,7 @@ pub fn construct(
     candidates: Vec<ProbePath>,
     cfg: &PmcConfig,
 ) -> Result<ProbeMatrix, PmcError> {
+    // detlint::allow(determinism, reason = "PMC solver timeout deadline; deadlines only abort, never alter a completed plan")
     let deadline = cfg.timeout.map(|t| Instant::now() + t);
     for p in &candidates {
         if let Some(l) = p.links().iter().find(|l| l.index() >= num_links) {
@@ -422,6 +423,7 @@ pub fn construct_with_provider<P: CandidateProvider>(
     provider: P,
     cfg: &PmcConfig,
 ) -> Result<SubSolution, PmcError> {
+    // detlint::allow(determinism, reason = "PMC solver timeout deadline; deadlines only abort, never alter a completed plan")
     let deadline = cfg.timeout.map(|t| Instant::now() + t);
     lazy::run_with_provider(provider, cfg, deadline)
 }
@@ -462,6 +464,7 @@ pub fn resolve_subproblem(
     excluded: &std::collections::HashSet<LinkId>,
     cfg: &PmcConfig,
 ) -> Result<SubSolution, PmcError> {
+    // detlint::allow(determinism, reason = "PMC solver timeout deadline; deadlines only abort, never alter a completed plan")
     let deadline = cfg.timeout.map(|t| Instant::now() + t);
     let universe: Vec<LinkId> = universe
         .iter()
@@ -528,6 +531,7 @@ pub(crate) fn solve_subproblem(
 
 pub(crate) fn check_deadline(deadline: Option<Instant>, start: Instant) -> Result<(), PmcError> {
     if let Some(d) = deadline {
+        // detlint::allow(determinism, reason = "PMC solver timeout check; deadlines only abort, never alter a completed plan")
         if Instant::now() > d {
             return Err(PmcError::Timeout {
                 elapsed: start.elapsed(),

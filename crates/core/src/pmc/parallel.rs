@@ -100,6 +100,7 @@ pub fn resolve_subproblems_parallel(
     work: Vec<(&[LinkId], &[ProbePath], &HashSet<LinkId>)>,
     cfg: &PmcConfig,
 ) -> Result<Vec<SubSolution>, PmcError> {
+    // detlint::allow(determinism, reason = "PMC solver timeout deadline; deadlines only abort, never alter a completed plan")
     let deadline = cfg.timeout.map(|t| Instant::now() + t);
     let restricted: Vec<Subproblem> = work
         .into_iter()

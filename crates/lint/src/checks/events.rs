@@ -1,0 +1,339 @@
+//! Event-protocol check: JSON round-trip completeness for event enums.
+//!
+//! `RuntimeEvent` and `TopologyEvent` cross the process boundary as
+//! JSON (event logs, replay, the live-topology delta feed). Rust's
+//! exhaustiveness checking keeps `to_json` honest only if the match has
+//! no wildcard arm — and `from_json` is string-keyed, so the compiler
+//! cannot help at all: adding a variant and forgetting its `from_json`
+//! arm silently turns that event into a parse error on replay.
+//!
+//! The check is self-scoping: any enum in a file that has both an
+//! `impl ToJson for E` (with `fn to_json`) and an inherent
+//! `fn from_json` constructor is treated as a protocol enum, and every
+//! variant must be mentioned (as `E::Variant` or `Self::Variant`) in
+//! both function bodies. The diagnostic anchors at the variant's
+//! declaration line — that is where the new variant was added.
+
+use std::ops::Range;
+
+use crate::lexer::{match_brace, Tok, TokKind};
+use crate::{Check, Diagnostic, FileCtx};
+
+struct EnumDef {
+    name: String,
+    variants: Vec<(String, u32)>,
+}
+
+/// Flags protocol-enum variants missing from either JSON direction.
+pub fn run(ctx: &FileCtx) -> Vec<Diagnostic> {
+    let t = &ctx.toks;
+    let mut out = Vec::new();
+    for e in collect_enums(t) {
+        let Some(to_json) = impl_fn_body(t, Some("ToJson"), &e.name, "to_json") else {
+            continue;
+        };
+        let Some(from_json) = impl_fn_body(t, None, &e.name, "from_json") else {
+            continue;
+        };
+        for (v, line) in &e.variants {
+            let in_to = mentions_variant(t, &to_json, &e.name, v);
+            let in_from = mentions_variant(t, &from_json, &e.name, v);
+            if in_to && in_from {
+                continue;
+            }
+            let missing = match (in_to, in_from) {
+                (false, false) => "to_json and from_json",
+                (false, true) => "to_json",
+                (true, false) => "from_json",
+                (true, true) => unreachable!(),
+            };
+            out.push(Diagnostic {
+                file: ctx.rel.clone(),
+                line: *line,
+                check: Check::EventProtocol,
+                message: format!(
+                    "variant `{}::{v}` is missing from {missing}; the JSON round-trip drops \
+                     this event on serialize/replay",
+                    e.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// All `enum Name { ... }` definitions with their variant names/lines.
+fn collect_enums(t: &[Tok]) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if t[i].is_ident("enum") {
+            if let Some(TokKind::Ident(name)) = t.get(i + 1).map(|x| &x.kind) {
+                let mut j = i + 2;
+                while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < t.len() && t[j].is_punct('{') {
+                    let close = match_brace(t, j);
+                    out.push(EnumDef {
+                        name: name.clone(),
+                        variants: collect_variants(t, j + 1..close),
+                    });
+                    i = close;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn collect_variants(t: &[Tok], body: Range<usize>) -> Vec<(String, u32)> {
+    let mut variants = Vec::new();
+    let mut j = body.start;
+    while j < body.end {
+        match &t[j].kind {
+            TokKind::Punct('#') => j = skip_attr(t, j),
+            TokKind::Ident(v) => {
+                variants.push((v.clone(), t[j].line));
+                // Skip the payload / discriminant to the comma at depth 0.
+                j += 1;
+                let mut depth = 0i32;
+                while j < body.end {
+                    let tk = &t[j];
+                    if tk.is_punct('(') || tk.is_punct('{') || tk.is_punct('[') {
+                        depth += 1;
+                    } else if tk.is_punct(')') || tk.is_punct('}') || tk.is_punct(']') {
+                        depth -= 1;
+                    } else if tk.is_punct(',') && depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            _ => j += 1,
+        }
+    }
+    variants
+}
+
+/// Index just past an attribute group `#[...]` starting at `i`.
+fn skip_attr(t: &[Tok], i: usize) -> usize {
+    if !t.get(i + 1).is_some_and(|x| x.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < t.len() {
+        if t[j].is_punct('[') {
+            depth += 1;
+        } else if t[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    t.len()
+}
+
+/// Body token range of `fn fn_name` inside `impl ToJson for Name` (when
+/// `trait_name` is given) or an inherent `impl Name` (when `None`).
+fn impl_fn_body(
+    t: &[Tok],
+    trait_name: Option<&str>,
+    type_name: &str,
+    fn_name: &str,
+) -> Option<Range<usize>> {
+    let mut i = 0usize;
+    while i < t.len() {
+        if t[i].is_ident("impl") {
+            if let Some(body) = impl_body_if_matches(t, i, trait_name, type_name) {
+                let mut j = body.start;
+                while j < body.end {
+                    if t[j].is_ident("fn") && t.get(j + 1).is_some_and(|x| x.is_ident(fn_name)) {
+                        let mut k = j + 2;
+                        while k < body.end && !t[k].is_punct('{') {
+                            k += 1;
+                        }
+                        if k < body.end {
+                            return Some(k + 1..match_brace(t, k));
+                        }
+                    }
+                    j += 1;
+                }
+                i = body.end;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// If the `impl` at `i` targets (`trait_name` for) `type_name`, returns
+/// its brace-body range.
+fn impl_body_if_matches(
+    t: &[Tok],
+    i: usize,
+    trait_name: Option<&str>,
+    type_name: &str,
+) -> Option<Range<usize>> {
+    let mut j = i + 1;
+    // Skip `impl<...>` generics.
+    if t.get(j).is_some_and(|x| x.is_punct('<')) {
+        let mut depth = 0i32;
+        while j < t.len() {
+            if t[j].is_punct('<') {
+                depth += 1;
+            } else if t[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Path segments up to `for` / `{` / `<` / `where`.
+    let mut head: Vec<&str> = Vec::new();
+    let mut target: Option<&str> = None;
+    let mut saw_for = false;
+    while j < t.len() {
+        match &t[j].kind {
+            TokKind::Ident(id) if id == "for" => saw_for = true,
+            TokKind::Ident(id) if id == "where" => break,
+            TokKind::Ident(id) => {
+                if saw_for {
+                    target = Some(id.as_str());
+                    break;
+                }
+                head.push(id.as_str());
+            }
+            TokKind::Punct('{') => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let (trait_last, tgt) = if saw_for {
+        (head.last().copied(), target?)
+    } else {
+        (None, *head.first()?)
+    };
+    match trait_name {
+        Some(want) => {
+            if trait_last != Some(want) || tgt != type_name {
+                return None;
+            }
+        }
+        None => {
+            if trait_last.is_some() || tgt != type_name {
+                return None;
+            }
+        }
+    }
+    // Find the impl's opening brace (past any where clause).
+    while j < t.len() && !t[j].is_punct('{') {
+        j += 1;
+    }
+    if j >= t.len() {
+        return None;
+    }
+    Some(j + 1..match_brace(t, j))
+}
+
+/// True when `Enum::Variant` or `Self::Variant` occurs in `range`.
+fn mentions_variant(t: &[Tok], range: &Range<usize>, enum_name: &str, variant: &str) -> bool {
+    for i in range.clone() {
+        if (t[i].is_ident(enum_name) || t[i].is_ident("Self"))
+            && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.is_ident(variant))
+            && i + 3 < range.end
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_source, ScopeMode};
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_source(Path::new("crates/demo/src/x.rs"), src, ScopeMode::Workspace)
+    }
+
+    const COMPLETE: &str = "
+        pub enum Ev { A, B(u32) }
+        impl ToJson for Ev {
+            fn to_json(&self) -> Json {
+                match self { Ev::A => x(), Ev::B(v) => y(v) }
+            }
+        }
+        impl Ev {
+            pub fn from_json(j: &Json) -> Option<Ev> {
+                match tag { \"a\" => Some(Self::A), \"b\" => Some(Self::B(0)), _ => None }
+            }
+        }
+    ";
+
+    #[test]
+    fn complete_protocol_is_clean() {
+        assert!(lint(COMPLETE).is_empty());
+    }
+
+    #[test]
+    fn variant_missing_from_from_json_fires() {
+        let src = COMPLETE.replace("\"b\" => Some(Self::B(0)), ", "");
+        let d = lint(&src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, Check::EventProtocol);
+        assert!(d[0].message.contains("`Ev::B`"), "{d:?}");
+        assert!(d[0].message.contains("from_json"), "{d:?}");
+        // Anchored at the enum declaration line of the variant.
+        assert_eq!(d[0].line, 2, "{d:?}");
+    }
+
+    #[test]
+    fn variant_missing_from_to_json_fires() {
+        let src = COMPLETE.replace("Ev::B(v) => y(v)", "_ => z()");
+        let d = lint(&src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("to_json"), "{d:?}");
+    }
+
+    #[test]
+    fn enums_without_both_impls_are_ignored() {
+        let d = lint("pub enum Plain { A, B }\nimpl Plain { fn other(&self) {} }");
+        assert!(d.is_empty(), "{d:?}");
+
+        let d = lint(
+            "pub enum OneWay { A }
+             impl ToJson for OneWay { fn to_json(&self) -> Json { match self { OneWay::A => x() } } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn variant_attrs_and_struct_payloads_parse() {
+        let src = "
+            pub enum Ev { #[doc = \"x\"] A { cycle: u64, extra: Vec<u32> }, B }
+            impl ToJson for Ev {
+                fn to_json(&self) -> Json { match self { Self::A { .. } => x(), Self::B => y() } }
+            }
+            impl Ev {
+                fn from_json(j: &Json) -> Option<Ev> { Some(Ev::A { cycle: 0, extra: v() }) }
+            }
+        ";
+        let d = lint(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`Ev::B`"));
+        assert!(d[0].message.contains("from_json"));
+    }
+}

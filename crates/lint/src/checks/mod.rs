@@ -1,0 +1,8 @@
+//! The four check families. Each module exposes `run(&FileCtx)` plus,
+//! for the path-scoped checks, an `in_scope(rel)` predicate used by the
+//! workspace walk ([`crate::lint_source`]).
+
+pub mod determinism;
+pub mod events;
+pub mod locks;
+pub mod panic_path;

@@ -1,0 +1,410 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! `detlint` does not need a parser-grade token model — only a stream
+//! precise enough that identifiers inside string literals, comments and
+//! doc examples are never mistaken for code. The lexer therefore
+//! understands exactly the lexical features that would otherwise cause
+//! false positives: line and (nested) block comments, plain / raw / byte
+//! string literals, char literals vs. lifetimes, raw identifiers, and
+//! numeric literals. Everything else is an identifier or a single-char
+//! punctuation token.
+//!
+//! Comments are returned separately so the annotation layer can parse
+//! `// detlint::allow(...)` markers without them ever shadowing code
+//! tokens.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `Instant`, `unwrap`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `::` arrives as two `:`).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, number.
+    /// Lifetimes also land here — no check cares about them.
+    Lit,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// 1-based line number.
+    pub line: u32,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// True when this token is the punctuation char `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (`//...` including the slashes, or a whole `/* */` block)
+/// with the line it starts on.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text, delimiters included.
+    pub text: String,
+}
+
+/// Lexes `src` into code tokens and comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            let (start, start_line) = (i, line);
+            i += 2;
+            let mut depth = 1u32;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: b[start..i.min(b.len())].iter().collect(),
+            });
+        } else if c == '"' {
+            let l0 = line;
+            i = skip_string(&b, i + 1, &mut line);
+            toks.push(Tok {
+                line: l0,
+                kind: TokKind::Lit,
+            });
+        } else if is_raw_string_start(&b, i) {
+            let l0 = line;
+            i = skip_raw_string(&b, i, &mut line);
+            toks.push(Tok {
+                line: l0,
+                kind: TokKind::Lit,
+            });
+        } else if c == 'r' && b.get(i + 1) == Some(&'#') && is_ident_start(b.get(i + 2)) {
+            // Raw identifier r#type.
+            let start = i + 2;
+            i = start;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident(b[start..i].iter().collect()),
+            });
+        } else if c == '\'' {
+            // Lifetime or char literal.
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            if next.is_some_and(|n| n.is_alphanumeric() || n == '_') && after != Some('\'') {
+                // Lifetime: 'a, 'static, '_.
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                });
+            } else {
+                // Char literal, possibly escaped: 'x', '\n', '\''.
+                i += 1;
+                if b.get(i) == Some(&'\\') {
+                    i += 2; // Skip the escape head; scan to the close below.
+                }
+                while i < b.len() && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                });
+            }
+        } else if c.is_ascii_digit() {
+            while i < b.len() && (is_ident_continue(b[i]) || (b[i] == '.' && digit_after(&b, i))) {
+                i += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Lit,
+            });
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident(b[start..i].iter().collect()),
+            });
+        } else {
+            toks.push(Tok {
+                line,
+                kind: TokKind::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    (toks, comments)
+}
+
+fn is_ident_start(c: Option<&char>) -> bool {
+    c.is_some_and(|&c| c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `1.5` continues a number at the dot; `1..5` and `1.max(2)` do not.
+fn digit_after(b: &[char], dot: usize) -> bool {
+    b.get(dot + 1).is_some_and(|c| c.is_ascii_digit())
+}
+
+/// True at the start of `r"`, `r#"`, `b"`, `br#"`, `b'` forms.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+        if b.get(j) == Some(&'\'') {
+            return true; // b'x' byte literal, handled by skip_raw_string.
+        }
+        if b.get(j) == Some(&'"') {
+            return true; // b"...".
+        }
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    false
+}
+
+/// Skips any of the `is_raw_string_start` forms; returns the index past
+/// the closing delimiter.
+fn skip_raw_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    if b.get(i) == Some(&'b') {
+        i += 1;
+        if b.get(i) == Some(&'\'') {
+            // b'x' or b'\n'.
+            i += 1;
+            if b.get(i) == Some(&'\\') {
+                i += 2;
+            }
+            while i < b.len() && b[i] != '\'' {
+                i += 1;
+            }
+            return i + 1;
+        }
+        if b.get(i) == Some(&'"') {
+            return skip_string(b, i + 1, line);
+        }
+    }
+    // r, then hashes, then the quote.
+    debug_assert_eq!(b.get(i), Some(&'r'));
+    i += 1;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // Opening quote.
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a plain (escaped) string body starting just past the opening
+/// quote; returns the index past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Index of the `}` matching the `{` at `open` (or `toks.len() - 1` when
+/// unbalanced).
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (off, t) in toks[open..].iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return open + off;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `open` char matching the closing delimiter at `close`,
+/// scanning backwards (for `[`/`]` and `(`/`)` receiver chains).
+pub fn match_back(toks: &[Tok], close: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = close as isize;
+    while j >= 0 {
+        let t = &toks[j as usize];
+        if t.is_punct(close_c) {
+            depth += 1;
+        } else if t.is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return j as usize;
+            }
+        }
+        j -= 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // Instant::now in a comment
+            /* SystemTime in a block /* nested */ comment */
+            let s = "Instant::now()";
+            let r = r#"thread_rng "quoted" inside"#;
+            let b = b"from_entropy";
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"from_entropy".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let (toks, _) = lex(src);
+        // Both the lifetimes and the char literal become Lit tokens; the
+        // idents survive.
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+        assert!(toks.iter().any(|t| t.is_ident("char")));
+    }
+
+    #[test]
+    fn escaped_chars_and_quotes() {
+        let src = "let a = '\\''; let b = '\\n'; let c = \"q\\\"uote\"; fn g() {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"g".to_string()));
+        assert!(!ids.contains(&"uote".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let x = 1;\n// detlint::allow(panic_path, reason = \"why\")\nlet y = 2;";
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("detlint::allow"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nfn after() {}";
+        let (toks, _) = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "for i in 0..10 { x(1.5); y(2.max(3)); }";
+        let (toks, _) = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        // `0..10` keeps its two dots as puncts.
+        assert!(toks.iter().filter(|t| t.is_punct('.')).count() >= 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+}

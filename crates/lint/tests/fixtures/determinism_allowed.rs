@@ -1,0 +1,9 @@
+// Golden fixture: the same wall-clock read, annotated as genuine
+// timing measurement. The annotation must carry a non-empty reason.
+use std::time::Instant;
+
+fn replan_stopwatch() -> u64 {
+    // detlint::allow(determinism, reason = "stopwatch feeds replan_micros; never branches")
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}

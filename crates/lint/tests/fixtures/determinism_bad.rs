@@ -1,0 +1,10 @@
+// Golden fixture: every line here violates the determinism check.
+use std::time::Instant;
+
+fn window_jitter() -> u64 {
+    let t0 = Instant::now();
+    let noise: u64 = rand::random();
+    let mut rng = thread_rng();
+    let stamp = SystemTime::now();
+    t0.elapsed().as_micros() as u64 + noise
+}

@@ -1,0 +1,28 @@
+// Golden fixture: the complete protocol — every variant appears in
+// both directions of the JSON round-trip.
+pub enum WireEvent {
+    Started { window: u64 },
+    Finished(u64),
+    Aborted,
+}
+
+impl ToJson for WireEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            WireEvent::Started { window } => obj("started", *window),
+            WireEvent::Finished(w) => obj("finished", *w),
+            WireEvent::Aborted => obj("aborted", 0),
+        }
+    }
+}
+
+impl WireEvent {
+    pub fn from_json(j: &Json) -> Option<WireEvent> {
+        match j.get("event")?.as_str()? {
+            "started" => Some(Self::Started { window: 0 }),
+            "finished" => Some(Self::Finished(0)),
+            "aborted" => Some(Self::Aborted),
+            _ => None,
+        }
+    }
+}

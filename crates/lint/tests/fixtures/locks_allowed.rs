@@ -1,0 +1,38 @@
+// Golden fixture: the disciplined versions of the same operations —
+// one consistent order, guards dropped before channel ops.
+use std::sync::Mutex;
+
+struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Shared {
+    fn order_ab(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    fn also_order_ab(&self) -> u64 {
+        let a = self.alpha.lock();
+        drop(a);
+        let b = self.beta.lock();
+        *b
+    }
+
+    fn send_after_drop(&self, tx: &Sender<u64>) {
+        let g = self.alpha.lock();
+        let v = *g;
+        drop(g);
+        tx.send(v);
+    }
+
+    fn scoped_guard(&self, tx: &Sender<u64>) {
+        let v = {
+            let g = self.beta.lock();
+            *g
+        };
+        tx.send(v);
+    }
+}

@@ -1,0 +1,36 @@
+// Golden fixture: the three lock-discipline hazards.
+use std::sync::Mutex;
+
+struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Shared {
+    fn double_acquire(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.alpha.lock();
+        *a + *b
+    }
+
+    fn order_ab(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    fn order_ba(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+
+    fn send_under_guard(&self, tx: &Sender<u64>) {
+        let g = self.alpha.lock();
+        tx.send(*g);
+    }
+
+    fn temp_guard_in_send(&self, tx: &Sender<u64>) {
+        tx.send(*self.beta.lock());
+    }
+}

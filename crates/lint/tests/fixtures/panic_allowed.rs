@@ -1,0 +1,10 @@
+// Golden fixture: provably-in-bounds indexing with the required
+// justification; graceful-degradation forms need no annotation at all.
+fn ingest(reports: &[u64], i: usize) -> u64 {
+    let head = reports.first().copied().unwrap_or(0);
+    if reports.is_empty() {
+        return head;
+    }
+    // detlint::allow(panic_path, reason = "index is modulo len of a slice checked non-empty above")
+    head + reports[i % reports.len()]
+}

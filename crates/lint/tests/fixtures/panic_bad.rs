@@ -1,0 +1,9 @@
+// Golden fixture: hot-path panic constructs, one per flavour.
+fn ingest(reports: Vec<u64>, i: usize) -> u64 {
+    let first = reports.first().unwrap();
+    let second = reports.get(1).expect("second report");
+    if i > reports.len() {
+        panic!("out of range");
+    }
+    first + second + reports[i]
+}

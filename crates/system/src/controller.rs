@@ -144,6 +144,7 @@ impl Controller {
         &mut self,
         events: impl IntoIterator<Item = TopologyEvent>,
     ) -> Result<PlanUpdate, PmcError> {
+        // detlint::allow(determinism, reason = "replan_micros stopwatch; measurement only, never branches")
         let t0 = Instant::now();
         let mut changed: HashSet<LinkId> = HashSet::new();
         for ev in events {

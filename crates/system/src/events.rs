@@ -274,13 +274,23 @@ impl CollectingSink {
     }
 
     /// A snapshot of all events recorded so far.
+    ///
+    /// A poisoned collector (a panic elsewhere while appending) still
+    /// yields the events recorded up to that point — losing the
+    /// observability feed on top of the original failure helps nobody.
     pub fn events(&self) -> Vec<RuntimeEvent> {
-        self.events.lock().expect("collector poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("collector poisoned").len()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// True when no event has been recorded.
@@ -293,7 +303,7 @@ impl EventSink for CollectingSink {
     fn on_event(&mut self, event: &RuntimeEvent) {
         self.events
             .lock()
-            .expect("collector poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(event.clone());
     }
 }

@@ -248,6 +248,7 @@ impl ProbePlan {
         // sequential one (and to a later incremental re-solve of the same
         // restricted cell).
         let solutions: Vec<SubSolution> = if cfg.parallel && subproblems.len() > 1 {
+            // detlint::allow(determinism, reason = "PMC solver timeout deadline; deadlines only abort, never alter a completed plan")
             let deadline = cfg.timeout.map(|t| Instant::now() + t);
             let restricted: Vec<Subproblem> = subproblems
                 .iter()
@@ -422,6 +423,7 @@ impl ProbePlan {
         changed: &[LinkId],
         offline: &HashSet<LinkId>,
     ) -> Result<ReplanStats, PmcError> {
+        // detlint::allow(determinism, reason = "replan_micros stopwatch; measurement only, never branches")
         let t0 = Instant::now();
         let mut stats = ReplanStats {
             cells_total: self.cells.len(),

@@ -79,15 +79,27 @@ impl PingerReport {
 }
 
 /// Diagnoser-side store of reports, per window.
-#[derive(Default)]
 pub struct ReportStore {
     inner: RwLock<HashMap<u64, Vec<PingerReport>>>,
 }
 
+impl Default for ReportStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ReportStore {
+    /// Debug-build acquisition rank of the store's lock (see the
+    /// parking_lot shim): any lock the diagnoser may take *while*
+    /// aggregating reports must rank above this.
+    const LOCK_RANK: u32 = 100;
+
     /// An empty store.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: RwLock::with_rank(HashMap::new(), Self::LOCK_RANK, "ReportStore.inner"),
+        }
     }
 
     /// Ingests one report.

@@ -9,6 +9,7 @@
 //! same runtime drives the simulated fabric, a mock, or (eventually) a
 //! real-packet backend.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -17,7 +18,7 @@ use std::time::Instant;
 use detector_core::pll::LossClassification;
 use detector_core::pmc::{PmcError, ProbeMatrix};
 use detector_core::types::{LinkId, NodeId};
-use detector_topology::{DcnTopology, TopologyEvent, TopologyView};
+use detector_topology::{Dcn, DcnTopology, TopologyEvent, TopologyView};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -239,6 +240,7 @@ impl Detector {
     /// assert!(run.matrix().uncoverable.contains(&ft.ea_link(0, 0, 0)));
     /// ```
     pub fn apply(&mut self, event: &TopologyEvent) -> Result<PlanUpdate, PmcError> {
+        // detlint::allow(determinism, reason = "replan_micros stopwatch; measurement only, never branches")
         let t0 = Instant::now();
         let mut update = self.controller.apply_event(event)?;
         if update.links_changed > 0 {
@@ -360,22 +362,10 @@ impl Detector {
                 );
                 continue;
             }
-            // Re-bind only when the dispatched list changed (§3.2's
-            // idempotent pinglist refresh): an incremental re-plan leaves
-            // untouched lists at their old version. The check is keyed on
-            // (version, content stamp) so a refresh can never serve a
-            // pre-re-base binding.
-            let needs_bind = self
-                .bound
-                .get(&list.pinger)
-                .is_none_or(|p| !p.bound_to(list));
-            if needs_bind {
-                self.bound.insert(
-                    list.pinger,
-                    Arc::new(PingerBatch::bind(list.clone(), graph)),
-                );
-            }
-            let batch = self.bound.get(&list.pinger).expect("bound above");
+            // Re-bind only when the dispatched list changed: an
+            // incremental re-plan leaves untouched lists at their old
+            // version.
+            let batch = bound_batch(&mut self.bound, list, graph);
             let report = batch.run_window(dataplane, &self.cfg, window, window_seed);
             let sent = report.total_sent();
             probes_sent += sent;
@@ -437,6 +427,28 @@ pub(crate) fn install_dispatched(
     let active: HashSet<NodeId> = deployment.pinglists.iter().map(|l| l.pinger).collect();
     bound.retain(|k, _| active.contains(k));
     (deployment.matrix.clone(), redispatched)
+}
+
+/// The batch serving `list`, re-binding first iff the dispatched list
+/// changed (§3.2's idempotent pinglist refresh). The binding cache is
+/// keyed on (version, content stamp) so a refresh can never serve a
+/// pre-re-base binding; going through the entry keeps insert-then-get a
+/// single infallible operation. Shared by both drivers — see
+/// [`install_dispatched`] on why they must stay identical.
+pub(crate) fn bound_batch(
+    bound: &mut HashMap<NodeId, Arc<PingerBatch>>,
+    list: &Pinglist,
+    graph: &Dcn,
+) -> Arc<PingerBatch> {
+    match bound.entry(list.pinger) {
+        Entry::Occupied(mut e) => {
+            if !e.get().bound_to(list) {
+                e.insert(Arc::new(PingerBatch::bind(list.clone(), graph)));
+            }
+            Arc::clone(e.get())
+        }
+        Entry::Vacant(e) => Arc::clone(e.insert(Arc::new(PingerBatch::bind(list.clone(), graph)))),
+    }
 }
 
 #[cfg(test)]

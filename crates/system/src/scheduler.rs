@@ -81,7 +81,7 @@ use crate::dataplane::DataPlane;
 use crate::events::{RuntimeEvent, WindowResult};
 use crate::pinger::PingerBatch;
 use crate::report::PingerReport;
-use crate::runtime::{install_dispatched, Detector};
+use crate::runtime::{bound_batch, install_dispatched, Detector};
 use crate::watchdog::Watchdog;
 use crate::SystemConfig;
 
@@ -482,7 +482,11 @@ impl Detector {
                             });
                             continue;
                         }
-                        let report = have.remove(pinger).expect("collected above");
+                        let Some(report) = have.remove(pinger) else {
+                            return Err(PipelineError::Stage(
+                                "probe stage omitted a healthy pinger's report",
+                            ));
+                        };
                         let sent = report.total_sent();
                         probes_sent += sent;
                         emit(RuntimeEvent::ReportIngested {
@@ -523,6 +527,7 @@ impl Detector {
                             // Mirrors `Detector::apply`, with the
                             // diagnoser's matrix handoff deferred to the
                             // diagnosis stage via the meta record.
+                            // detlint::allow(determinism, reason = "replan_micros stopwatch; measurement only, never branches")
                             let t0 = Instant::now();
                             let update = match controller.apply_event(ev) {
                                 Ok(u) => u,
@@ -603,17 +608,10 @@ impl Detector {
                     if !healthy {
                         continue;
                     }
-                    let needs_bind = bound.get(&list.pinger).is_none_or(|b| !b.bound_to(list));
-                    if needs_bind {
-                        bound.insert(
-                            list.pinger,
-                            Arc::new(PingerBatch::bind(list.clone(), graph)),
-                        );
-                    }
                     jobs.push(BatchJob {
                         window,
                         window_seed,
-                        batch: Arc::clone(bound.get(&list.pinger).expect("bound above")),
+                        batch: bound_batch(bound, list, graph),
                     });
                 }
 

@@ -138,6 +138,11 @@ impl<'a> BenchmarkGroup<'a> {
             stats.std_dev,
             b.samples.len()
         );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Err(e) = append_json_record(&path, &self.name, &id, &stats, b.samples.len()) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            }
+        }
     }
 
     /// Registers and immediately runs a benchmark.
@@ -167,6 +172,37 @@ impl<'a> BenchmarkGroup<'a> {
 
     /// Ends the group (printing is immediate, so this is a no-op).
     pub fn finish(&mut self) {}
+}
+
+/// Appends one JSON-lines record of a benchmark's stats to the file
+/// named by the `CRITERION_JSON` env var. Times are nanoseconds, so the
+/// records are machine-comparable across runs (the workspace commits
+/// `BENCH_*.json` snapshots built from this feed).
+fn append_json_record(
+    path: &str,
+    group: &str,
+    id: &str,
+    stats: &SampleStats,
+    samples: usize,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        f,
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\
+         \"max_ns\":{},\"std_dev_ns\":{},\"samples\":{}}}",
+        group,
+        id,
+        stats.min.as_nanos(),
+        stats.median.as_nanos(),
+        stats.mean.as_nanos(),
+        stats.max.as_nanos(),
+        stats.std_dev.as_nanos(),
+        samples
+    )
 }
 
 /// Summary statistics over a benchmark's per-iteration samples.
@@ -321,6 +357,21 @@ mod tests {
         // Sample std-dev of [1,2,4,8] ms around 3.75 ms ≈ 3.095 ms.
         let sd_ms = s.std_dev.as_secs_f64() * 1e3;
         assert!((sd_ms - 3.095).abs() < 0.01, "std dev {sd_ms} ms");
+    }
+
+    #[test]
+    fn json_records_have_machine_readable_fields() {
+        let s = SampleStats::from_samples(&[Duration::from_micros(3), Duration::from_micros(5)]);
+        let path = std::env::temp_dir().join("criterion_shim_json_test.jsonl");
+        let path_s = path.to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+        super::append_json_record(&path_s, "g", "b/1", &s, 2).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"group\":\"g\""), "{text}");
+        assert!(text.contains("\"bench\":\"b/1\""), "{text}");
+        assert!(text.contains("\"median_ns\":3000"), "{text}");
+        assert!(text.contains("\"samples\":2"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

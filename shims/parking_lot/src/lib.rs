@@ -4,12 +4,75 @@
 //! (guards are returned directly, poisoning is unwrapped away — matching
 //! parking_lot's no-poisoning semantics for code that never leaks a
 //! panicking critical section).
+//!
+//! # Debug-only lock-order ranks
+//!
+//! Locks built with [`Mutex::with_rank`] / [`RwLock::with_rank`] carry a
+//! numeric rank and a name. Under `debug_assertions`, every acquisition
+//! asserts that all ranked locks already held by the current thread have
+//! a *strictly smaller* rank — equal rank included, so re-entrant
+//! acquisition of the same lock trips the check too. Any execution that
+//! could deadlock via AB/BA ordering panics deterministically on the
+//! first mis-ordered acquisition instead of hanging once in a thousand
+//! runs. Release builds skip the bookkeeping entirely; unranked locks
+//! (`new`) are never tracked. This is the dynamic complement to
+//! `detlint`'s static lock-order check: detlint sees orderings in the
+//! source, the rank check sees orderings the tests actually execute.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// Rank + name of a ranked lock.
+type Rank = Option<(u32, &'static str)>;
+
+#[cfg(debug_assertions)]
+mod held {
+    use super::Rank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static STACK: RefCell<Vec<(u32, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquire(rank: Rank) {
+        let Some((r, name)) = rank else { return };
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(&(held_r, held_name)) = s.iter().find(|&&(held_r, _)| held_r >= r) {
+                panic!(
+                    "lock-order violation: acquiring `{name}` (rank {r}) while `{held_name}` \
+                     (rank {held_r}) is held by this thread; ranks must strictly increase"
+                );
+            }
+            s.push((r, name));
+        });
+    }
+
+    pub(super) fn release(rank: Rank) {
+        let Some(entry) = rank else { return };
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards may drop out of acquisition order; remove the
+            // newest matching entry rather than popping blindly.
+            if let Some(pos) = s.iter().rposition(|&e| e == entry) {
+                s.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod held {
+    use super::Rank;
+
+    pub(super) fn acquire(_rank: Rank) {}
+    pub(super) fn release(_rank: Rank) {}
+}
 
 /// Reader-writer lock with parking_lot's infallible API.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    rank: Rank,
     inner: sync::RwLock<T>,
 }
 
@@ -17,6 +80,17 @@ impl<T> RwLock<T> {
     /// Creates a new lock around `value`.
     pub fn new(value: T) -> Self {
         Self {
+            rank: None,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock participating in the debug-only acquisition-order
+    /// check: it may only be taken while every ranked lock held by the
+    /// thread has a strictly smaller rank.
+    pub fn with_rank(value: T, rank: u32, name: &'static str) -> Self {
+        Self {
+            rank: Some((rank, name)),
             inner: sync::RwLock::new(value),
         }
     }
@@ -30,12 +104,20 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        held::acquire(self.rank);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            rank: self.rank,
+        }
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        held::acquire(self.rank);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            rank: self.rank,
+        }
     }
 
     /// Mutable access without locking (requires `&mut self`).
@@ -44,9 +126,54 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    rank: Rank,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        held::release(self.rank);
+    }
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    rank: Rank,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        held::release(self.rank);
+    }
+}
+
 /// Mutex with parking_lot's infallible API.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    rank: Rank,
     inner: sync::Mutex<T>,
 }
 
@@ -54,6 +181,16 @@ impl<T> Mutex<T> {
     /// Creates a new mutex around `value`.
     pub fn new(value: T) -> Self {
         Self {
+            rank: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex participating in the debug-only acquisition-order
+    /// check — see [`RwLock::with_rank`].
+    pub fn with_rank(value: T, rank: u32, name: &'static str) -> Self {
+        Self {
+            rank: Some((rank, name)),
             inner: sync::Mutex::new(value),
         }
     }
@@ -67,12 +204,41 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        held::acquire(self.rank);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            rank: self.rank,
+        }
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    rank: Rank,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        held::release(self.rank);
     }
 }
 
@@ -94,5 +260,57 @@ mod tests {
         let m = Mutex::new(5);
         *m.lock() += 1;
         assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "rank check is debug-only")]
+    fn ascending_ranks_pass() {
+        let a = Mutex::with_rank(1, 10, "a");
+        let b = RwLock::with_rank(2, 20, "b");
+        let ga = a.lock();
+        let gb = b.read();
+        assert_eq!(*ga + *gb, 3);
+        drop(gb);
+        drop(ga);
+        // Out-of-order drop is fine too; only acquisition is ordered.
+        let ga = a.lock();
+        let gb = b.write();
+        drop(ga);
+        drop(gb);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "rank check is debug-only")]
+    fn descending_ranks_panic() {
+        let result = std::thread::spawn(|| {
+            let a = Mutex::with_rank(1, 10, "a");
+            let b = Mutex::with_rank(2, 20, "b");
+            let _gb = b.lock();
+            let _ga = a.lock(); // rank 10 after rank 20: must panic.
+        })
+        .join();
+        let err = result.expect_err("inverted acquisition must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order violation"), "{msg}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "rank check is debug-only")]
+    fn equal_rank_reacquisition_panics() {
+        let result = std::thread::spawn(|| {
+            let a = RwLock::with_rank(1, 10, "a");
+            let _g1 = a.read();
+            let _g2 = a.read(); // same rank: re-entrancy is flagged.
+        })
+        .join();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unranked_locks_are_never_tracked() {
+        let a = Mutex::new(1);
+        let b = Mutex::new(2);
+        let _gb = b.lock();
+        let _ga = a.lock(); // No ranks, no ordering constraint.
     }
 }

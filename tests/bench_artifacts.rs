@@ -1,0 +1,96 @@
+//! Keeps the committed benchmark snapshots honest.
+//!
+//! `BENCH_replan.json` and `BENCH_sched.json` are JSON-lines files
+//! produced by the criterion shim's `CRITERION_JSON` feed (one record
+//! per benchmark: group, bench, min/median/mean/max/std-dev in
+//! nanoseconds, sample count). They are the machine-readable
+//! perf-trajectory record the roadmap asks for — each PR that moves the
+//! replan or scheduler numbers regenerates them with
+//!
+//! ```text
+//! CRITERION_JSON=$PWD/BENCH_replan.json cargo bench -p detector-bench --bench replan_latency
+//! CRITERION_JSON=$PWD/BENCH_sched.json  cargo bench -p detector-bench --bench scheduler_throughput
+//! ```
+//!
+//! These tests parse both files with the in-tree JSON reader, so a
+//! malformed or stale-schema snapshot fails tier-1 rather than rotting
+//! silently. They validate structure, not timings — numbers vary by
+//! machine.
+
+use detector_core::json::Json;
+
+fn records(path: &str) -> Vec<Json> {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let text = std::fs::read_to_string(format!("{root}/{path}"))
+        .unwrap_or_else(|e| panic!("{path} must exist at the workspace root: {e}"));
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("{path}: bad record {l:?}: {e:?}")))
+        .collect()
+}
+
+fn check_schema(path: &str, recs: &[Json]) {
+    assert!(!recs.is_empty(), "{path} has no records");
+    for r in recs {
+        for key in ["group", "bench"] {
+            assert!(
+                r.get(key).and_then(Json::as_str).is_some(),
+                "{path}: record missing string field {key}: {r:?}"
+            );
+        }
+        for key in [
+            "min_ns",
+            "median_ns",
+            "mean_ns",
+            "max_ns",
+            "std_dev_ns",
+            "samples",
+        ] {
+            assert!(
+                r.get(key).and_then(Json::as_u64).is_some(),
+                "{path}: record missing numeric field {key}: {r:?}"
+            );
+        }
+        let min = r.get("min_ns").and_then(Json::as_u64).unwrap();
+        let med = r.get("median_ns").and_then(Json::as_u64).unwrap();
+        let max = r.get("max_ns").and_then(Json::as_u64).unwrap();
+        assert!(min <= med && med <= max, "{path}: unordered stats: {r:?}");
+        assert!(
+            min > 0,
+            "{path}: zero-time sample is not a measurement: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn replan_snapshot_parses_and_covers_both_modes() {
+    let recs = records("BENCH_replan.json");
+    check_schema("BENCH_replan.json", &recs);
+    let benches: Vec<&str> = recs
+        .iter()
+        .filter_map(|r| r.get("bench").and_then(Json::as_str))
+        .collect();
+    // The snapshot must keep the full-vs-incremental comparison alive.
+    assert!(
+        benches.iter().any(|b| b.starts_with("full_")),
+        "no full-replan records: {benches:?}"
+    );
+    assert!(
+        benches.iter().any(|b| b.starts_with("incremental_")),
+        "no incremental-replan records: {benches:?}"
+    );
+}
+
+#[test]
+fn scheduler_snapshot_parses_and_covers_both_drivers() {
+    let recs = records("BENCH_sched.json");
+    check_schema("BENCH_sched.json", &recs);
+    let benches: Vec<&str> = recs
+        .iter()
+        .filter_map(|r| r.get("bench").and_then(Json::as_str))
+        .collect();
+    assert!(
+        benches.contains(&"sequential") && benches.contains(&"pipelined"),
+        "snapshot must compare sequential and pipelined drivers: {benches:?}"
+    );
+}
