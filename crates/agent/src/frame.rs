@@ -1,0 +1,771 @@
+//! The control-plane wire protocol: length-prefixed frames, no registry.
+//!
+//! Every byte that crosses the controller ↔ agent boundary is one
+//! [`Frame`]: a `u32` big-endian length prefix (counting everything after
+//! itself), a one-byte tag, and a tag-specific payload. The payload
+//! encodings for pinglist material delegate to the canonical forms in
+//! [`detector_system::dispatch`] — [`encode_entry`]/[`decode_entry`] for
+//! entries, the 34-byte list header for whole lists — so a frame's size
+//! is *exactly* what the dispatch cost model
+//! ([`ListUpdate::wire_bytes`](detector_system::dispatch::ListUpdate::wire_bytes))
+//! charges for it. That identity is load-bearing: `PlanUpdated`'s
+//! `bytes_dispatched` is computed from the model, and the tests in this
+//! module pin every diff-protocol frame's encoded length to the model's
+//! formula.
+//!
+//! Determinism: report payloads iterate their hash maps in sorted key
+//! order and ship `f64`s as IEEE-754 bit patterns, so encoding the same
+//! report twice — on any host, in any process — yields identical bytes.
+//!
+//! [`encode_entry`]: detector_system::dispatch::encode_entry
+//! [`decode_entry`]: detector_system::dispatch::decode_entry
+
+use std::fmt;
+
+use detector_core::types::{NodeId, PathId, PathIdRange};
+use detector_system::dispatch::{decode_entry, encode_entry};
+use detector_system::{PathCounters, PingEntry, PingerReport, Pinglist};
+
+/// Hard cap on a frame's post-prefix length (tag + payload): 16 MiB.
+/// A whole-fabric pinglist for the largest supported topologies is well
+/// under 1 MiB, so anything bigger is a corrupt or hostile prefix and is
+/// rejected before any allocation.
+pub const MAX_FRAME: u32 = 1 << 24;
+
+/// One protocol message. The first seven variants are the dispatch
+/// vocabulary (full lists and the per-entry diff protocol); the rest are
+/// window orchestration, health probing and report return.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Agent introduction, sent once per connection.
+    Hello {
+        /// The agent's ordinal (its [`HostGroups`] index).
+        ///
+        /// [`HostGroups`]: detector_simnet::HostGroups
+        agent: u32,
+    },
+    /// Ship a whole pinglist (new pinger, header change, or a diff that
+    /// would not be smaller).
+    ListReplace(Pinglist),
+    /// Retire a pinger's list entirely (it left pinger duty).
+    ListRemove {
+        /// The pinger whose list is retired.
+        pinger: NodeId,
+    },
+    /// Per-entry diff: insert `entry` at `index` in `pinger`'s list.
+    /// Adds within one diff arrive in ascending index order, after all
+    /// removals.
+    EntryAdd {
+        /// The list being edited.
+        pinger: NodeId,
+        /// Target position in the post-removal list.
+        index: u32,
+        /// The entry to insert.
+        entry: PingEntry,
+    },
+    /// Per-entry diff: remove the first entry of `pinger`'s list whose
+    /// [`entry_key`](detector_system::dispatch::entry_key) equals `key`.
+    EntryRemove {
+        /// The list being edited.
+        pinger: NodeId,
+        /// Canonical-encoding FNV-1a key of the entry to drop.
+        key: u64,
+    },
+    /// A plan cell's `PathId` range moved (overflow re-base). Broadcast
+    /// so agents can retire counters and bindings of the old ids; the
+    /// rebased entries themselves travel as remove + add pairs.
+    RangeRebase {
+        /// The cell's previous id range.
+        old: PathIdRange,
+        /// The cell's new id range.
+        new: PathIdRange,
+    },
+    /// Closes a per-entry diff: the edited list adopts `(version,
+    /// stamp)`. The stamp doubles as an end-to-end checksum — the agent
+    /// re-hashes the rebuilt list and must land on the same value.
+    ListSeal {
+        /// The list being sealed.
+        pinger: NodeId,
+        /// Version to adopt.
+        version: u64,
+        /// Expected [`Pinglist::content_stamp`] of the rebuilt list.
+        stamp: u64,
+    },
+    /// Drop all agent state (lists, bindings, pending diffs) — the
+    /// preamble of a full resync.
+    Reset,
+    /// Run one window over every owned list not in `skip`.
+    WindowStart {
+        /// Window index.
+        window: u64,
+        /// The window's master seed; each batch derives its own stream
+        /// via [`batch_seed`](detector_system::batch_seed).
+        window_seed: u64,
+        /// Pingers excluded by the watchdog this window (sorted).
+        skip: Vec<NodeId>,
+    },
+    /// Controller liveness probe.
+    HeartbeatReq {
+        /// Echo token.
+        nonce: u64,
+    },
+    /// Agent liveness answer.
+    HeartbeatAck {
+        /// The request's token, echoed.
+        nonce: u64,
+        /// The answering agent's ordinal.
+        agent: u32,
+    },
+    /// One pinger's window report (the paper's HTTP POST).
+    Report(PingerReport),
+    /// All owned, non-skipped lists of `window` have reported.
+    WindowDone {
+        /// The finished window.
+        window: u64,
+        /// The reporting agent's ordinal.
+        agent: u32,
+    },
+    /// Orderly connection teardown.
+    Shutdown,
+}
+
+/// Why a byte buffer failed to parse as a [`Frame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ended before the announced length (or mid-field).
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// Unknown frame tag.
+    UnknownTag(u8),
+    /// The payload decoded but bytes were left over.
+    TrailingBytes,
+    /// A structurally invalid payload (e.g. a malformed entry).
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::Oversize(n) => write!(f, "frame length {n} exceeds MAX_FRAME"),
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::TrailingBytes => write!(f, "trailing bytes after frame payload"),
+            FrameError::BadPayload(what) => write!(f, "bad frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const TAG_HELLO: u8 = 0;
+const TAG_LIST_REPLACE: u8 = 1;
+const TAG_LIST_REMOVE: u8 = 2;
+const TAG_ENTRY_ADD: u8 = 3;
+const TAG_ENTRY_REMOVE: u8 = 4;
+const TAG_RANGE_REBASE: u8 = 5;
+const TAG_LIST_SEAL: u8 = 6;
+const TAG_RESET: u8 = 7;
+const TAG_WINDOW_START: u8 = 8;
+const TAG_HEARTBEAT_REQ: u8 = 9;
+const TAG_HEARTBEAT_ACK: u8 = 10;
+const TAG_REPORT: u8 = 11;
+const TAG_WINDOW_DONE: u8 = 12;
+const TAG_SHUTDOWN: u8 = 13;
+
+impl Frame {
+    /// Encodes the frame as wire bytes: `u32` BE length prefix (covering
+    /// tag + payload), tag byte, payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; 4]; // Length prefix backfilled below.
+        match self {
+            Frame::Hello { agent } => {
+                out.push(TAG_HELLO);
+                put_u32(&mut out, *agent);
+            }
+            Frame::ListReplace(list) => {
+                out.push(TAG_LIST_REPLACE);
+                encode_list(list, &mut out);
+            }
+            Frame::ListRemove { pinger } => {
+                out.push(TAG_LIST_REMOVE);
+                put_u32(&mut out, pinger.0);
+            }
+            Frame::EntryAdd {
+                pinger,
+                index,
+                entry,
+            } => {
+                out.push(TAG_ENTRY_ADD);
+                put_u32(&mut out, pinger.0);
+                put_u32(&mut out, *index);
+                encode_entry(entry, &mut out);
+            }
+            Frame::EntryRemove { pinger, key } => {
+                out.push(TAG_ENTRY_REMOVE);
+                put_u32(&mut out, pinger.0);
+                put_u64(&mut out, *key);
+            }
+            Frame::RangeRebase { old, new } => {
+                out.push(TAG_RANGE_REBASE);
+                put_u32(&mut out, old.base);
+                put_u32(&mut out, old.capacity);
+                put_u32(&mut out, new.base);
+                put_u32(&mut out, new.capacity);
+            }
+            Frame::ListSeal {
+                pinger,
+                version,
+                stamp,
+            } => {
+                out.push(TAG_LIST_SEAL);
+                put_u32(&mut out, pinger.0);
+                put_u64(&mut out, *version);
+                put_u64(&mut out, *stamp);
+            }
+            Frame::Reset => out.push(TAG_RESET),
+            Frame::WindowStart {
+                window,
+                window_seed,
+                skip,
+            } => {
+                out.push(TAG_WINDOW_START);
+                put_u64(&mut out, *window);
+                put_u64(&mut out, *window_seed);
+                put_u32(&mut out, skip.len() as u32);
+                for s in skip {
+                    put_u32(&mut out, s.0);
+                }
+            }
+            Frame::HeartbeatReq { nonce } => {
+                out.push(TAG_HEARTBEAT_REQ);
+                put_u64(&mut out, *nonce);
+            }
+            Frame::HeartbeatAck { nonce, agent } => {
+                out.push(TAG_HEARTBEAT_ACK);
+                put_u64(&mut out, *nonce);
+                put_u32(&mut out, *agent);
+            }
+            Frame::Report(report) => {
+                out.push(TAG_REPORT);
+                encode_report(report, &mut out);
+            }
+            Frame::WindowDone { window, agent } => {
+                out.push(TAG_WINDOW_DONE);
+                put_u64(&mut out, *window);
+                put_u32(&mut out, *agent);
+            }
+            Frame::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        let len = (out.len() - 4) as u32;
+        out[..4].copy_from_slice(&len.to_be_bytes());
+        out
+    }
+
+    /// Decodes one whole frame (length prefix included). The buffer must
+    /// contain exactly one frame: a short buffer is [`Truncated`], bytes
+    /// past the announced length are [`TrailingBytes`].
+    ///
+    /// [`Truncated`]: FrameError::Truncated
+    /// [`TrailingBytes`]: FrameError::TrailingBytes
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < 5 {
+            return Err(FrameError::Truncated);
+        }
+        let len = u32::from_be_bytes(bytes[..4].try_into().expect("4-byte slice"));
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversize(len));
+        }
+        let total = 4 + len as usize;
+        if bytes.len() < total {
+            return Err(FrameError::Truncated);
+        }
+        if bytes.len() > total {
+            return Err(FrameError::TrailingBytes);
+        }
+        let tag = bytes[4];
+        let mut buf = &bytes[5..];
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                agent: take_u32(&mut buf)?,
+            },
+            TAG_LIST_REPLACE => Frame::ListReplace(decode_list(&mut buf)?),
+            TAG_LIST_REMOVE => Frame::ListRemove {
+                pinger: NodeId(take_u32(&mut buf)?),
+            },
+            TAG_ENTRY_ADD => Frame::EntryAdd {
+                pinger: NodeId(take_u32(&mut buf)?),
+                index: take_u32(&mut buf)?,
+                entry: decode_entry(&mut buf).ok_or(FrameError::BadPayload("ping entry"))?,
+            },
+            TAG_ENTRY_REMOVE => Frame::EntryRemove {
+                pinger: NodeId(take_u32(&mut buf)?),
+                key: take_u64(&mut buf)?,
+            },
+            TAG_RANGE_REBASE => Frame::RangeRebase {
+                old: PathIdRange::new(take_u32(&mut buf)?, take_u32(&mut buf)?),
+                new: PathIdRange::new(take_u32(&mut buf)?, take_u32(&mut buf)?),
+            },
+            TAG_LIST_SEAL => Frame::ListSeal {
+                pinger: NodeId(take_u32(&mut buf)?),
+                version: take_u64(&mut buf)?,
+                stamp: take_u64(&mut buf)?,
+            },
+            TAG_RESET => Frame::Reset,
+            TAG_WINDOW_START => {
+                let window = take_u64(&mut buf)?;
+                let window_seed = take_u64(&mut buf)?;
+                let n = take_u32(&mut buf)? as usize;
+                if buf.len() < n * 4 {
+                    return Err(FrameError::Truncated);
+                }
+                let mut skip = Vec::with_capacity(n);
+                for _ in 0..n {
+                    skip.push(NodeId(take_u32(&mut buf)?));
+                }
+                Frame::WindowStart {
+                    window,
+                    window_seed,
+                    skip,
+                }
+            }
+            TAG_HEARTBEAT_REQ => Frame::HeartbeatReq {
+                nonce: take_u64(&mut buf)?,
+            },
+            TAG_HEARTBEAT_ACK => Frame::HeartbeatAck {
+                nonce: take_u64(&mut buf)?,
+                agent: take_u32(&mut buf)?,
+            },
+            TAG_REPORT => Frame::Report(decode_report(&mut buf)?),
+            TAG_WINDOW_DONE => Frame::WindowDone {
+                window: take_u64(&mut buf)?,
+                agent: take_u32(&mut buf)?,
+            },
+            TAG_SHUTDOWN => Frame::Shutdown,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        if !buf.is_empty() {
+            return Err(FrameError::TrailingBytes);
+        }
+        Ok(frame)
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], FrameError> {
+    if buf.len() < n {
+        return Err(FrameError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn take_u16(buf: &mut &[u8]) -> Result<u16, FrameError> {
+    Ok(u16::from_be_bytes(
+        take_bytes(buf, 2)?.try_into().expect("2-byte slice"),
+    ))
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, FrameError> {
+    Ok(u32::from_be_bytes(
+        take_bytes(buf, 4)?.try_into().expect("4-byte slice"),
+    ))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, FrameError> {
+    Ok(u64::from_be_bytes(
+        take_bytes(buf, 8)?.try_into().expect("8-byte slice"),
+    ))
+}
+
+/// The 34-byte list header of the dispatch cost model
+/// ([`LIST_HEADER_BYTES`](detector_system::dispatch::LIST_HEADER_BYTES)),
+/// then an entry count and the canonical entry encodings.
+fn encode_list(list: &Pinglist, out: &mut Vec<u8>) {
+    put_u64(out, list.version);
+    put_u32(out, list.pinger.0);
+    put_u64(out, list.interval_us);
+    put_u16(out, list.base_sport);
+    put_u16(out, list.port_range);
+    put_u16(out, list.dport);
+    put_u64(out, list.stamp);
+    put_u32(out, list.entries.len() as u32);
+    for e in &list.entries {
+        encode_entry(e, out);
+    }
+}
+
+fn decode_list(buf: &mut &[u8]) -> Result<Pinglist, FrameError> {
+    let version = take_u64(buf)?;
+    let pinger = NodeId(take_u32(buf)?);
+    let interval_us = take_u64(buf)?;
+    let base_sport = take_u16(buf)?;
+    let port_range = take_u16(buf)?;
+    let dport = take_u16(buf)?;
+    let stamp = take_u64(buf)?;
+    let n = take_u32(buf)? as usize;
+    let mut entries = Vec::new();
+    for _ in 0..n {
+        entries.push(decode_entry(buf).ok_or(FrameError::BadPayload("ping entry"))?);
+    }
+    Ok(Pinglist {
+        version,
+        pinger,
+        entries,
+        interval_us,
+        base_sport,
+        port_range,
+        dport,
+        stamp,
+    })
+}
+
+fn encode_counters(c: &PathCounters, out: &mut Vec<u8>) {
+    put_u64(out, c.sent);
+    put_u64(out, c.lost);
+    put_u64(out, c.rtt_sum_us.to_bits());
+    put_u64(out, c.rtt_max_us.to_bits());
+}
+
+fn decode_counters(buf: &mut &[u8]) -> Result<PathCounters, FrameError> {
+    Ok(PathCounters {
+        sent: take_u64(buf)?,
+        lost: take_u64(buf)?,
+        rtt_sum_us: f64::from_bits(take_u64(buf)?),
+        rtt_max_us: f64::from_bits(take_u64(buf)?),
+    })
+}
+
+/// Report payload: maps are written in sorted key order so the encoding
+/// is a pure function of the report's *contents*, independent of hash
+/// map iteration order (and therefore identical across processes).
+fn encode_report(r: &PingerReport, out: &mut Vec<u8>) {
+    put_u32(out, r.pinger.0);
+    put_u64(out, r.window);
+
+    let mut paths: Vec<_> = r.paths.iter().collect();
+    paths.sort_by_key(|(pid, _)| **pid);
+    put_u32(out, paths.len() as u32);
+    for (pid, c) in paths {
+        put_u32(out, pid.0);
+        encode_counters(c, out);
+    }
+
+    let mut in_rack: Vec<_> = r.in_rack.iter().collect();
+    in_rack.sort_by_key(|(responder, _)| **responder);
+    put_u32(out, in_rack.len() as u32);
+    for (responder, c) in in_rack {
+        put_u32(out, responder.0);
+        encode_counters(c, out);
+    }
+
+    let mut flows: Vec<_> = r.flows.iter().collect();
+    flows.sort_by_key(|((pid, flow), _)| (*pid, *flow));
+    put_u32(out, flows.len() as u32);
+    for ((pid, flow), (sent, lost)) in flows {
+        put_u32(out, pid.0);
+        put_u64(out, *flow);
+        put_u64(out, *sent);
+        put_u64(out, *lost);
+    }
+}
+
+fn decode_report(buf: &mut &[u8]) -> Result<PingerReport, FrameError> {
+    let mut r = PingerReport {
+        pinger: NodeId(take_u32(buf)?),
+        window: take_u64(buf)?,
+        ..Default::default()
+    };
+    for _ in 0..take_u32(buf)? {
+        let pid = PathId(take_u32(buf)?);
+        r.paths.insert(pid, decode_counters(buf)?);
+    }
+    for _ in 0..take_u32(buf)? {
+        let responder = NodeId(take_u32(buf)?);
+        r.in_rack.insert(responder, decode_counters(buf)?);
+    }
+    for _ in 0..take_u32(buf)? {
+        let pid = PathId(take_u32(buf)?);
+        let flow = take_u64(buf)?;
+        let sent = take_u64(buf)?;
+        let lost = take_u64(buf)?;
+        r.flows.insert((pid, flow), (sent, lost));
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_system::dispatch::{
+        encoded_entry_len, encoded_list_len, entry_key, ListUpdate, FRAME_OVERHEAD,
+    };
+
+    fn entry(path: Option<u32>, route: &[u32], responder: u32, waypoint: Option<u32>) -> PingEntry {
+        PingEntry {
+            path: path.map(PathId),
+            route: route.iter().map(|&n| NodeId(n)).collect(),
+            responder: NodeId(responder),
+            waypoint: waypoint.map(NodeId),
+        }
+    }
+
+    fn list() -> Pinglist {
+        let mut l = Pinglist {
+            version: 7,
+            pinger: NodeId(100),
+            entries: vec![
+                entry(Some(3), &[100, 1, 2, 101], 101, Some(2)),
+                entry(None, &[100, 1, 102], 102, None),
+            ],
+            interval_us: 100_000,
+            base_sport: 33000,
+            port_range: 16,
+            dport: 53533,
+            stamp: 0,
+        };
+        l.seal();
+        l
+    }
+
+    fn report() -> PingerReport {
+        let mut r = PingerReport {
+            pinger: NodeId(100),
+            window: 4,
+            ..Default::default()
+        };
+        r.paths.insert(
+            PathId(3),
+            PathCounters {
+                sent: 300,
+                lost: 2,
+                rtt_sum_us: 123_456.75,
+                rtt_max_us: 900.5,
+            },
+        );
+        r.paths.insert(PathId(9), PathCounters::default());
+        r.in_rack.insert(
+            NodeId(101),
+            PathCounters {
+                sent: 10,
+                lost: 0,
+                rtt_sum_us: 80.0,
+                rtt_max_us: 12.0,
+            },
+        );
+        r.flows.insert((PathId(3), 77), (150, 1));
+        r.flows.insert((PathId(3), 12), (150, 1));
+        r
+    }
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { agent: 3 },
+            Frame::ListReplace(list()),
+            Frame::ListRemove { pinger: NodeId(9) },
+            Frame::EntryAdd {
+                pinger: NodeId(100),
+                index: 2,
+                entry: entry(Some(8), &[100, 4, 101], 101, None),
+            },
+            Frame::EntryRemove {
+                pinger: NodeId(100),
+                key: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Frame::RangeRebase {
+                old: PathIdRange::new(64, 32),
+                new: PathIdRange::new(128, 48),
+            },
+            Frame::ListSeal {
+                pinger: NodeId(100),
+                version: 9,
+                stamp: 0x1234_5678_9ABC_DEF0,
+            },
+            Frame::Reset,
+            Frame::WindowStart {
+                window: 21,
+                window_seed: 0xFEED_FACE_0123_4567,
+                skip: vec![NodeId(5), NodeId(17)],
+            },
+            Frame::HeartbeatReq { nonce: 42 },
+            Frame::HeartbeatAck {
+                nonce: 42,
+                agent: 1,
+            },
+            Frame::Report(report()),
+            Frame::WindowDone {
+                window: 21,
+                agent: 1,
+            },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in all_frames() {
+            let bytes = f.encode();
+            let back = Frame::decode(&bytes).unwrap_or_else(|e| panic!("{f:?}: {e}"));
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn frame_sizes_match_the_dispatch_cost_model() {
+        // The diff-protocol frames must cost exactly what ListUpdate::
+        // wire_bytes charges — PlanUpdated's bytes_dispatched is computed
+        // from the model, and the loopback byte counters measure these
+        // encodings.
+        let e = entry(Some(8), &[100, 4, 101], 101, None);
+        assert_eq!(
+            Frame::EntryAdd {
+                pinger: NodeId(100),
+                index: 2,
+                entry: e.clone(),
+            }
+            .encode()
+            .len(),
+            FRAME_OVERHEAD + 4 + 4 + encoded_entry_len(&e)
+        );
+        assert_eq!(
+            Frame::EntryRemove {
+                pinger: NodeId(100),
+                key: 1,
+            }
+            .encode()
+            .len(),
+            FRAME_OVERHEAD + 4 + 8
+        );
+        assert_eq!(
+            Frame::ListSeal {
+                pinger: NodeId(100),
+                version: 1,
+                stamp: 2,
+            }
+            .encode()
+            .len(),
+            FRAME_OVERHEAD + 4 + 8 + 8
+        );
+        assert_eq!(
+            Frame::ListRemove { pinger: NodeId(9) }.encode().len(),
+            FRAME_OVERHEAD + 4
+        );
+        assert_eq!(
+            Frame::RangeRebase {
+                old: PathIdRange::new(0, 1),
+                new: PathIdRange::new(1, 2),
+            }
+            .encode()
+            .len(),
+            FRAME_OVERHEAD + 16
+        );
+        let l = list();
+        assert_eq!(
+            Frame::ListReplace(l.clone()).encode().len(),
+            encoded_list_len(&l)
+        );
+    }
+
+    #[test]
+    fn a_diff_update_frames_to_exactly_its_wire_bytes() {
+        let added = entry(Some(8), &[100, 4, 101], 101, None);
+        let removed_key = entry_key(&list().entries[0]);
+        let update = ListUpdate::Diff {
+            pinger: NodeId(100),
+            version: 9,
+            stamp: 77,
+            removed: vec![removed_key],
+            added: vec![(1, added.clone())],
+        };
+        let framed: usize = [
+            Frame::EntryRemove {
+                pinger: NodeId(100),
+                key: removed_key,
+            },
+            Frame::EntryAdd {
+                pinger: NodeId(100),
+                index: 1,
+                entry: added,
+            },
+            Frame::ListSeal {
+                pinger: NodeId(100),
+                version: 9,
+                stamp: 77,
+            },
+        ]
+        .iter()
+        .map(|f| f.encode().len())
+        .sum();
+        assert_eq!(framed, update.wire_bytes());
+    }
+
+    #[test]
+    fn report_encoding_is_sorted_and_deterministic() {
+        // Two reports with identical contents but different insertion
+        // orders must encode identically.
+        let a = report();
+        let mut b = PingerReport {
+            pinger: a.pinger,
+            window: a.window,
+            ..Default::default()
+        };
+        let mut paths: Vec<_> = a.paths.iter().map(|(k, v)| (*k, *v)).collect();
+        paths.reverse();
+        for (k, v) in paths {
+            b.paths.insert(k, v);
+        }
+        for (k, v) in &a.in_rack {
+            b.in_rack.insert(*k, *v);
+        }
+        let mut flows: Vec<_> = a.flows.iter().map(|(k, v)| (*k, *v)).collect();
+        flows.reverse();
+        for (k, v) in flows {
+            b.flows.insert(k, v);
+        }
+        assert_eq!(Frame::Report(a).encode(), Frame::Report(b).encode());
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        for f in all_frames() {
+            let bytes = f.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Frame::decode(&bytes[..cut]).is_err(),
+                    "{f:?} decoded from a {cut}-byte prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_and_oversize_are_rejected() {
+        // Unknown tag.
+        let mut bytes = Frame::Shutdown.encode();
+        bytes[4] = 200;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::UnknownTag(200)));
+        // Trailing bytes after a valid frame.
+        let mut bytes = Frame::HeartbeatReq { nonce: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::TrailingBytes));
+        // A hostile length prefix is rejected before allocation.
+        let mut huge = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        huge.push(TAG_SHUTDOWN);
+        assert_eq!(
+            Frame::decode(&huge),
+            Err(FrameError::Oversize(MAX_FRAME + 1))
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! deTector's distributed control plane: a wire-protocol agent tier.
+//!
+//! The single-process [`Detector`](detector_system::Detector) runs the
+//! controller, every pinger and the diagnoser in one address space. This
+//! crate splits the deployment the way the paper does (§ "deTector
+//! architecture"): a **controller tier** ([`DistributedDetector`]) owns
+//! planning, dispatch and diagnosis, and a **probe tier** of
+//! [`PingerAgent`] daemons — one per host group — owns the
+//! `PingerBatch`es and streams reports back.
+//!
+//! The two tiers speak a hand-rolled, registry-free protocol of
+//! length-prefixed [`Frame`]s over a [`Transport`]: an in-process
+//! [`loopback`] pair for CI (with [`flaky_loopback`] fault injection)
+//! or a [`TcpTransport`] for real two-process deployments. Pinglists
+//! are dispatched *incrementally*: after the initial sync, a changed
+//! list travels as per-entry `EntryAdd`/`EntryRemove` frames sealed by
+//! a checksum (`ListSeal`), so dispatch bytes scale with the plan
+//! *delta* rather than the fleet — the frame sizes are pinned test-by-
+//! test to the [`dispatch`](detector_system::dispatch) cost model.
+//!
+//! Failure handling is degrade-not-stall: a dead agent (missed
+//! heartbeat, closed transport, scripted crash) turns into
+//! `PingerUnhealthy` for its host group and the window completes
+//! without it. [`DistributedDetector::run_distributed`] is proven
+//! equivalent to the sequential oracle via [`DistScript::oracle`].
+
+mod agent;
+mod frame;
+mod runtime;
+mod transport;
+
+pub use agent::{AgentExit, PingerAgent};
+pub use frame::{Frame, FrameError, MAX_FRAME};
+pub use runtime::{DistAction, DistError, DistOutcome, DistScript, DistributedDetector};
+pub use transport::{
+    flaky_loopback, loopback, LoopbackEnd, TcpTransport, Transport, TransportError,
+};

@@ -1,0 +1,161 @@
+//! Property tests for the wire-protocol frame codec: arbitrary frames
+//! round-trip byte-exactly, every truncation is detected, garbage and
+//! oversize inputs are rejected without panicking, and decode never
+//! allocates for an oversize length prefix.
+
+use detector_agent::{Frame, FrameError, MAX_FRAME};
+use detector_core::types::{NodeId, PathId, PathIdRange};
+use detector_system::{PathCounters, PingEntry, PingerReport, Pinglist};
+use proptest::prelude::*;
+
+/// Builds one arbitrary entry from raw draws.
+fn entry(path: u32, hops: &[u32], responder: u32, waypoint: u32) -> PingEntry {
+    PingEntry {
+        path: (!path.is_multiple_of(3)).then_some(PathId(path)),
+        route: hops.iter().map(|&h| NodeId(h)).collect(),
+        responder: NodeId(responder),
+        waypoint: (waypoint.is_multiple_of(2)).then_some(NodeId(waypoint)),
+    }
+}
+
+/// Decodes one raw tuple into an arbitrary frame: `kind` selects the
+/// variant, the remaining draws fill its fields.
+fn frame(kind: u8, a: u64, b: u64, hops: Vec<u32>, entries: u8) -> Frame {
+    let pinger = NodeId(a as u32 % 4096);
+    match kind % 14 {
+        0 => Frame::Hello { agent: a as u32 },
+        1 => {
+            let mut list = Pinglist {
+                version: a,
+                pinger,
+                entries: (0..entries % 8)
+                    .map(|i| entry(b as u32 + u32::from(i), &hops, a as u32, u32::from(i)))
+                    .collect(),
+                interval_us: b,
+                base_sport: a as u16,
+                port_range: b as u16,
+                dport: (a >> 16) as u16,
+                stamp: 0,
+            };
+            list.seal();
+            Frame::ListReplace(list)
+        }
+        2 => Frame::ListRemove { pinger },
+        3 => Frame::EntryAdd {
+            pinger,
+            index: b as u32,
+            entry: entry(a as u32, &hops, b as u32, a as u32),
+        },
+        4 => Frame::EntryRemove { pinger, key: b },
+        5 => Frame::RangeRebase {
+            old: PathIdRange {
+                base: a as u32,
+                capacity: b as u32 % 1000,
+            },
+            new: PathIdRange {
+                base: b as u32,
+                capacity: a as u32 % 1000,
+            },
+        },
+        6 => Frame::ListSeal {
+            pinger,
+            version: a,
+            stamp: b,
+        },
+        7 => Frame::Reset,
+        8 => Frame::WindowStart {
+            window: a,
+            window_seed: b,
+            skip: hops.iter().map(|&h| NodeId(h)).collect(),
+        },
+        9 => Frame::HeartbeatReq { nonce: a },
+        10 => Frame::HeartbeatAck {
+            nonce: a,
+            agent: b as u32,
+        },
+        11 => {
+            let mut report = PingerReport {
+                pinger,
+                window: b,
+                ..PingerReport::default()
+            };
+            for (i, &h) in hops.iter().enumerate() {
+                let c = PathCounters {
+                    sent: u64::from(h),
+                    lost: u64::from(h) / 2,
+                    rtt_sum_us: f64::from(h) * 1.5,
+                    rtt_max_us: f64::from(h),
+                };
+                report.paths.insert(PathId(h), c);
+                report.in_rack.insert(NodeId(h), c);
+                report.flows.insert((PathId(h), a ^ i as u64), (a, b));
+            }
+            Frame::Report(report)
+        }
+        12 => Frame::WindowDone {
+            window: a,
+            agent: b as u32,
+        },
+        _ => Frame::Shutdown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Any frame decodes back to itself from exactly its own bytes.
+    #[test]
+    fn any_frame_round_trips(
+        kind in 0u8..14,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        hops in proptest::collection::vec(0u32..10_000, 0..6),
+        entries in 0u8..8,
+    ) {
+        let f = frame(kind, a, b, hops, entries);
+        let bytes = f.encode();
+        prop_assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated`; a trailing
+    /// byte is `TrailingBytes`. No input panics.
+    #[test]
+    fn truncations_and_trailers_are_rejected(
+        kind in 0u8..14,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        hops in proptest::collection::vec(0u32..10_000, 0..4),
+        entries in 0u8..5,
+    ) {
+        let bytes = frame(kind, a, b, hops, entries).encode();
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(
+                Frame::decode(&bytes[..cut]),
+                Err(FrameError::Truncated),
+                "prefix of {} bytes must be truncated", cut
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        prop_assert_eq!(Frame::decode(&padded), Err(FrameError::TrailingBytes));
+    }
+
+    /// Arbitrary garbage never panics the decoder — it either parses or
+    /// fails with a typed error.
+    #[test]
+    fn garbage_never_panics(raw in proptest::collection::vec(0u64..256, 0..64)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = Frame::decode(&bytes);
+    }
+
+    /// A corrupted length prefix above `MAX_FRAME` is rejected up front,
+    /// whatever follows it. (A bare 4-byte prefix with no tag byte is
+    /// `Truncated` first — the prefix alone is not yet a frame.)
+    #[test]
+    fn oversize_prefixes_are_rejected(extra in 1u32..1_000_000, tail in 1u64..64) {
+        let len = MAX_FRAME.saturating_add(extra);
+        let mut bytes = len.to_be_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0u8, tail as usize));
+        prop_assert_eq!(Frame::decode(&bytes), Err(FrameError::Oversize(len)));
+    }
+}

@@ -14,9 +14,21 @@ pub(crate) fn run(
     cfg: &PmcConfig,
     deadline: Option<Instant>,
 ) -> Result<SubSolution, PmcError> {
+    let state = SelectionState::new(&universe, cfg)?;
+    complete(state, candidates, cfg, deadline)
+}
+
+/// Continues the strawman greedy from an existing selection state — the
+/// completion half of a seeded re-solve (`resolve_subproblem_seeded`
+/// pre-selects the surviving previous solution, then repairs from here).
+pub(crate) fn complete(
+    mut state: SelectionState,
+    candidates: Vec<ProbePath>,
+    cfg: &PmcConfig,
+    deadline: Option<Instant>,
+) -> Result<SubSolution, PmcError> {
     // detlint::allow(determinism, reason = "PMC solver timeout clock; deadlines only abort, never alter a completed plan")
     let start = Instant::now();
-    let mut state = SelectionState::new(&universe, cfg)?;
     let mut alive: Vec<Option<ProbePath>> = candidates
         .into_iter()
         .map(|p| if p.is_empty() { None } else { Some(p) })

@@ -22,6 +22,7 @@
 
 mod decompose;
 mod greedy;
+mod jobs;
 mod lazy;
 mod parallel;
 mod provider;
@@ -30,6 +31,7 @@ mod verify;
 mod virtual_links;
 
 pub use decompose::{decompose, Subproblem};
+pub use jobs::{CellJob, CellSolution, JobPool};
 pub use parallel::{
     construct_decomposed_parallel, resolve_subproblems_parallel, run_indexed_parallel,
 };
@@ -68,11 +70,24 @@ pub struct PmcConfig {
     pub decompose: bool,
     /// Solve decomposed subproblems on multiple threads.
     pub parallel: bool,
+    /// Worker bound for parallel solves (`None` = host parallelism).
+    /// The distributed controller sets this to shard cell re-solves over
+    /// a fixed-size [`JobPool`] instead of whatever the host reports.
+    pub workers: Option<usize>,
     /// Abort with [`PmcError::Timeout`] if construction exceeds this budget.
     pub timeout: Option<Duration>,
     /// Upper bound on the extended-universe size (#physical + #virtual
     /// links) per subproblem; guards against infeasible β on large inputs.
     pub max_extended_elements: u64,
+    /// Churn-minimizing incremental re-solves: seed each cell re-solve
+    /// with the surviving paths of its previous solution
+    /// ([`resolve_subproblem_seeded`]), so a topology delta repairs the
+    /// plan instead of recomputing it and the dispatched pinglist diff
+    /// stays proportional to the delta. Off by default: the unseeded
+    /// re-solve keeps the "patched ≡ from-scratch" guarantee, while the
+    /// seeded one trades canonical path sets (healed at the next full
+    /// cycle refresh) for minimal dispatch bytes.
+    pub stable_patch: bool,
 }
 
 impl PmcConfig {
@@ -116,6 +131,18 @@ impl PmcConfig {
         self.timeout = Some(timeout);
         self
     }
+
+    /// Bounds parallel solves to `workers` threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Enables churn-minimizing (seeded) incremental re-solves.
+    pub fn with_stable_patch(mut self) -> Self {
+        self.stable_patch = true;
+        self
+    }
 }
 
 impl Default for PmcConfig {
@@ -126,8 +153,10 @@ impl Default for PmcConfig {
             strategy: Strategy::Lazy,
             decompose: true,
             parallel: true,
+            workers: None,
             timeout: None,
             max_extended_elements: 64_000_000,
+            stable_patch: false,
         }
     }
 }
@@ -479,6 +508,76 @@ pub fn resolve_subproblem(
     solve_subproblem(universe, candidates, cfg, deadline)
 }
 
+/// Re-solves one subproblem with part of its universe excluded, *seeded*
+/// with the previous solution's surviving paths — the churn-minimizing
+/// re-plan used under [`PmcConfig::stable_patch`].
+///
+/// Every seed path that avoids the excluded links and still makes progress
+/// toward the targets is pre-selected, in its stored order; the greedy then
+/// repairs only what the delta actually broke, completing from
+/// `candidates`. The result covers and identifies exactly what an unseeded
+/// [`resolve_subproblem`] would (same `targets_met` attainability — the
+/// full candidate pool is still on the table), but its path set stays as
+/// close to `seed` as the targets allow, so the dispatched pinglist diff
+/// is proportional to the topology delta instead of the cell size. The
+/// price is a possibly non-minimal path count; the periodic full refresh
+/// (the paper's 600 s cycle) rebuilds the canonical solution from scratch.
+///
+/// Deterministic: depends only on `(universe, candidates, excluded, seed)`
+/// and their stored orders.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashSet;
+/// use detector_core::pmc::{resolve_subproblem_seeded, PmcConfig};
+/// use detector_core::types::{LinkId, ProbePath};
+///
+/// let universe = vec![LinkId(0), LinkId(1), LinkId(2)];
+/// let candidates = vec![
+///     ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+///     ProbePath::from_links(1, vec![LinkId(1)]),
+///     ProbePath::from_links(2, vec![LinkId(2)]),
+/// ];
+/// let seed = vec![candidates[1].clone(), candidates[2].clone()];
+/// let dead: HashSet<LinkId> = [LinkId(0)].into_iter().collect();
+/// let cfg = PmcConfig::coverage(1).with_stable_patch();
+/// let sol = resolve_subproblem_seeded(&universe, &candidates, &dead, &seed, &cfg).unwrap();
+/// // The surviving seed already covers links 1 and 2: nothing churns.
+/// assert!(sol.targets_met);
+/// assert_eq!(sol.paths, seed);
+/// ```
+pub fn resolve_subproblem_seeded(
+    universe: &[LinkId],
+    candidates: &[ProbePath],
+    excluded: &std::collections::HashSet<LinkId>,
+    seed: &[ProbePath],
+    cfg: &PmcConfig,
+) -> Result<SubSolution, PmcError> {
+    // detlint::allow(determinism, reason = "PMC solver timeout deadline; deadlines only abort, never alter a completed plan")
+    let deadline = cfg.timeout.map(|t| Instant::now() + t);
+    let universe: Vec<LinkId> = universe
+        .iter()
+        .copied()
+        .filter(|l| !excluded.contains(l))
+        .collect();
+    let candidates: Vec<ProbePath> = candidates
+        .iter()
+        .filter(|p| !p.links().iter().any(|l| excluded.contains(l)))
+        .cloned()
+        .collect();
+    let mut state = SelectionState::new(&universe, cfg)?;
+    for p in seed {
+        if p.is_empty() || p.links().iter().any(|l| excluded.contains(l)) {
+            continue;
+        }
+        if state.evaluate(p)?.useful(cfg.beta) {
+            state.select(p)?;
+        }
+    }
+    greedy::complete(state, candidates, cfg, deadline)
+}
+
 /// Merges per-subproblem solutions into a dense probe matrix.
 pub(crate) fn merge_solutions(
     num_links: usize,
@@ -672,6 +771,82 @@ mod tests {
             for pid in paths {
                 assert!(m.paths[pid.index()].covers(LinkId(l as u32)));
             }
+        }
+    }
+
+    #[test]
+    fn seeded_resolve_keeps_a_sufficient_seed_verbatim() {
+        // Singles cover every link; the unseeded greedy would prefer the
+        // pair {0,1} (one path, two links), but a seed that already meets
+        // the targets must survive untouched.
+        let universe = vec![LinkId(0), LinkId(1), LinkId(2)];
+        let pair = ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]);
+        let singles: Vec<ProbePath> = (0..3)
+            .map(|l| ProbePath::from_links(1 + l, vec![LinkId(l)]))
+            .collect();
+        let mut candidates = vec![pair];
+        candidates.extend(singles.iter().cloned());
+        let cfg = PmcConfig::coverage(1).with_stable_patch();
+        let sol = resolve_subproblem_seeded(
+            &universe,
+            &candidates,
+            &std::collections::HashSet::new(),
+            &singles,
+            &cfg,
+        )
+        .unwrap();
+        assert!(sol.targets_met);
+        assert_eq!(sol.paths, singles);
+    }
+
+    #[test]
+    fn seeded_resolve_repairs_only_what_the_exclusion_broke() {
+        let universe = vec![LinkId(0), LinkId(1), LinkId(2)];
+        let seed = vec![
+            ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+            ProbePath::from_links(1, vec![LinkId(2)]),
+        ];
+        let candidates = vec![
+            seed[0].clone(),
+            seed[1].clone(),
+            ProbePath::from_links(2, vec![LinkId(1)]),
+        ];
+        let dead: std::collections::HashSet<LinkId> = [LinkId(0)].into_iter().collect();
+        let cfg = PmcConfig::coverage(1).with_stable_patch();
+        let sol = resolve_subproblem_seeded(&universe, &candidates, &dead, &seed, &cfg).unwrap();
+        assert!(sol.targets_met);
+        // The surviving seed path stays; the dead pair is replaced by the
+        // one candidate that restores link 1's coverage.
+        assert_eq!(sol.paths, vec![seed[1].clone(), candidates[2].clone()]);
+    }
+
+    #[test]
+    fn seeded_resolve_matches_unseeded_attainability() {
+        let candidates = fig3_candidates();
+        let universe = vec![LinkId(0), LinkId(1), LinkId(2)];
+        let cfg = PmcConfig::identifiable(1).with_stable_patch();
+        for dead_link in 0..3u32 {
+            let dead: std::collections::HashSet<LinkId> = [LinkId(dead_link)].into_iter().collect();
+            let unseeded =
+                resolve_subproblem(&universe, &candidates, &dead, &PmcConfig::identifiable(1))
+                    .unwrap();
+            // Seed with the pristine full solve of the same cell.
+            let pristine = resolve_subproblem(
+                &universe,
+                &candidates,
+                &std::collections::HashSet::new(),
+                &PmcConfig::identifiable(1),
+            )
+            .unwrap();
+            let seeded =
+                resolve_subproblem_seeded(&universe, &candidates, &dead, &pristine.paths, &cfg)
+                    .unwrap();
+            assert_eq!(seeded.targets_met, unseeded.targets_met, "link {dead_link}");
+            assert!(
+                seeded.coverage >= unseeded.coverage.min(1),
+                "link {dead_link}"
+            );
+            assert!(seeded.paths.iter().all(|p| !p.covers(LinkId(dead_link))));
         }
     }
 }

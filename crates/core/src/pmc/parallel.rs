@@ -8,12 +8,11 @@
 //! multi-cell patch re-solves in `detector-system`.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use super::decompose::Subproblem;
-use super::{solve_subproblem, PmcConfig, PmcError, SubSolution};
+use super::{solve_subproblem, JobPool, PmcConfig, PmcError, SubSolution};
 use crate::types::{LinkId, ProbePath};
 
 /// Runs `n` indexed jobs on up to `available_parallelism` scoped
@@ -21,45 +20,18 @@ use crate::types::{LinkId, ProbePath};
 /// job) the jobs run inline. `job(i)` must be safe to call from any
 /// thread; each index is executed exactly once, so deterministic jobs
 /// make the parallel run observably identical to a sequential loop.
+/// Sugar for [`JobPool::host`] + [`JobPool::run_indexed`]; use a
+/// [`JobPool`] directly to bound the worker count.
 pub fn run_indexed_parallel<T, F>(n: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
-        return (0..n).map(job).collect();
-    }
-
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                *results[i].lock().expect("result slot poisoned") = Some(job(i));
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("missing job result")
-        })
-        .collect()
+    JobPool::host().run_indexed(n, job)
 }
 
-/// Solves `subproblems` on up to `available_parallelism` threads.
+/// Solves `subproblems` on the pool [`PmcConfig::workers`] implies
+/// (host parallelism unless bounded).
 pub fn construct_decomposed_parallel(
     subproblems: Vec<Subproblem>,
     cfg: &PmcConfig,
@@ -71,7 +43,7 @@ pub fn construct_decomposed_parallel(
         .into_iter()
         .map(|s| Mutex::new(Some(s)))
         .collect();
-    let out = run_indexed_parallel(n, |i| {
+    let out = JobPool::from_config(cfg).run_indexed(n, |i| {
         let sp = work[i]
             .lock()
             .expect("work queue poisoned")
@@ -123,6 +95,7 @@ pub fn resolve_subproblems_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn path(id: u32, ls: &[u32]) -> ProbePath {
         ProbePath::from_links(id, ls.iter().map(|&l| LinkId(l)).collect())

@@ -1,18 +1,25 @@
-//! Event-protocol check: JSON round-trip completeness for event enums.
+//! Event-protocol check: round-trip completeness for protocol enums.
 //!
 //! `RuntimeEvent` and `TopologyEvent` cross the process boundary as
-//! JSON (event logs, replay, the live-topology delta feed). Rust's
-//! exhaustiveness checking keeps `to_json` honest only if the match has
-//! no wildcard arm — and `from_json` is string-keyed, so the compiler
-//! cannot help at all: adding a variant and forgetting its `from_json`
-//! arm silently turns that event into a parse error on replay.
+//! JSON (event logs, replay, the live-topology delta feed), and the
+//! agent tier's `Frame` crosses it as length-prefixed wire bytes.
+//! Rust's exhaustiveness checking keeps the serialize side honest only
+//! if the match has no wildcard arm — and the parse side is
+//! string/tag-keyed, so the compiler cannot help at all: adding a
+//! variant and forgetting its parse arm silently turns that message
+//! into an error on replay (or a rejected frame on the wire).
 //!
-//! The check is self-scoping: any enum in a file that has both an
-//! `impl ToJson for E` (with `fn to_json`) and an inherent
-//! `fn from_json` constructor is treated as a protocol enum, and every
-//! variant must be mentioned (as `E::Variant` or `Self::Variant`) in
-//! both function bodies. The diagnostic anchors at the variant's
-//! declaration line — that is where the new variant was added.
+//! The check is self-scoping, over two protocol shapes:
+//!
+//! * **JSON**: an enum with both an `impl ToJson for E` (with
+//!   `fn to_json`) and an inherent `fn from_json` constructor;
+//! * **wire**: an enum with inherent `fn encode` and `fn decode`
+//!   (the `detector-agent` frame codec).
+//!
+//! Every variant of a protocol enum must be mentioned (as `E::Variant`
+//! or `Self::Variant`) in both function bodies. The diagnostic anchors
+//! at the variant's declaration line — that is where the new variant
+//! was added.
 
 use std::ops::Range;
 
@@ -24,39 +31,68 @@ struct EnumDef {
     variants: Vec<(String, u32)>,
 }
 
-/// Flags protocol-enum variants missing from either JSON direction.
+/// One self-scoping protocol shape: the serialize/parse function pair
+/// that makes an enum a protocol enum, plus the consequence named in
+/// the diagnostic.
+struct Protocol {
+    ser_trait: Option<&'static str>,
+    ser_fn: &'static str,
+    de_trait: Option<&'static str>,
+    de_fn: &'static str,
+    consequence: &'static str,
+}
+
+const PROTOCOLS: [Protocol; 2] = [
+    Protocol {
+        ser_trait: Some("ToJson"),
+        ser_fn: "to_json",
+        de_trait: None,
+        de_fn: "from_json",
+        consequence: "the JSON round-trip drops this event on serialize/replay",
+    },
+    Protocol {
+        ser_trait: None,
+        ser_fn: "encode",
+        de_trait: None,
+        de_fn: "decode",
+        consequence: "the wire round-trip drops this frame on encode/decode",
+    },
+];
+
+/// Flags protocol-enum variants missing from either direction.
 pub fn run(ctx: &FileCtx) -> Vec<Diagnostic> {
     let t = &ctx.toks;
     let mut out = Vec::new();
     for e in collect_enums(t) {
-        let Some(to_json) = impl_fn_body(t, Some("ToJson"), &e.name, "to_json") else {
-            continue;
-        };
-        let Some(from_json) = impl_fn_body(t, None, &e.name, "from_json") else {
-            continue;
-        };
-        for (v, line) in &e.variants {
-            let in_to = mentions_variant(t, &to_json, &e.name, v);
-            let in_from = mentions_variant(t, &from_json, &e.name, v);
-            if in_to && in_from {
+        for p in &PROTOCOLS {
+            let Some(ser) = impl_fn_body(t, p.ser_trait, &e.name, p.ser_fn) else {
                 continue;
-            }
-            let missing = match (in_to, in_from) {
-                (false, false) => "to_json and from_json",
-                (false, true) => "to_json",
-                (true, false) => "from_json",
-                (true, true) => unreachable!(),
             };
-            out.push(Diagnostic {
-                file: ctx.rel.clone(),
-                line: *line,
-                check: Check::EventProtocol,
-                message: format!(
-                    "variant `{}::{v}` is missing from {missing}; the JSON round-trip drops \
-                     this event on serialize/replay",
-                    e.name
-                ),
-            });
+            let Some(de) = impl_fn_body(t, p.de_trait, &e.name, p.de_fn) else {
+                continue;
+            };
+            for (v, line) in &e.variants {
+                let in_ser = mentions_variant(t, &ser, &e.name, v);
+                let in_de = mentions_variant(t, &de, &e.name, v);
+                if in_ser && in_de {
+                    continue;
+                }
+                let missing = match (in_ser, in_de) {
+                    (false, false) => format!("{} and {}", p.ser_fn, p.de_fn),
+                    (false, true) => p.ser_fn.to_string(),
+                    (true, false) => p.de_fn.to_string(),
+                    (true, true) => unreachable!(),
+                };
+                out.push(Diagnostic {
+                    file: ctx.rel.clone(),
+                    line: *line,
+                    check: Check::EventProtocol,
+                    message: format!(
+                        "variant `{}::{v}` is missing from {missing}; {}",
+                        e.name, p.consequence
+                    ),
+                });
+            }
         }
     }
     out
@@ -316,6 +352,51 @@ mod tests {
         let d = lint(
             "pub enum OneWay { A }
              impl ToJson for OneWay { fn to_json(&self) -> Json { match self { OneWay::A => x() } } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    const WIRE_COMPLETE: &str = "
+        pub enum Frame { Hello { agent: u32 }, Shutdown }
+        impl Frame {
+            pub fn encode(&self) -> Vec<u8> {
+                match self { Frame::Hello { agent } => enc(agent), Frame::Shutdown => tag() }
+            }
+            pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+                match tag { 0 => Ok(Frame::Hello { agent: 0 }), 1 => Ok(Frame::Shutdown), _ => Err(e()) }
+            }
+        }
+    ";
+
+    #[test]
+    fn complete_wire_protocol_is_clean() {
+        assert!(lint(WIRE_COMPLETE).is_empty());
+    }
+
+    #[test]
+    fn frame_variant_missing_from_decode_fires() {
+        let src = WIRE_COMPLETE.replace("1 => Ok(Frame::Shutdown), ", "");
+        let d = lint(&src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, Check::EventProtocol);
+        assert!(d[0].message.contains("`Frame::Shutdown`"), "{d:?}");
+        assert!(d[0].message.contains("decode"), "{d:?}");
+        assert!(d[0].message.contains("wire round-trip"), "{d:?}");
+    }
+
+    #[test]
+    fn frame_variant_missing_from_encode_fires() {
+        let src = WIRE_COMPLETE.replace("Frame::Shutdown => tag()", "_ => tag()");
+        let d = lint(&src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("encode"), "{d:?}");
+    }
+
+    #[test]
+    fn encode_only_enums_are_ignored() {
+        let d = lint(
+            "pub enum OneWay { A }
+             impl OneWay { pub fn encode(&self) -> Vec<u8> { match self { OneWay::A => v() } } }",
         );
         assert!(d.is_empty(), "{d:?}");
     }

@@ -35,6 +35,7 @@ mod fabric;
 mod failures;
 mod flow;
 mod packet;
+mod partition;
 mod rtt;
 mod workload;
 
@@ -45,6 +46,7 @@ pub use failures::{
 };
 pub use flow::FlowKey;
 pub use packet::{decode_probe, encode_probe, PacketError, ProbePacket, PROBE_WIRE_SIZE};
+pub use partition::{partition_hosts, HostGroups};
 pub use rtt::RttModel;
 pub use workload::{measure_workload_rtt, Flow, WorkloadGenerator, WorkloadStats};
 

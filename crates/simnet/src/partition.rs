@@ -1,0 +1,172 @@
+//! Fabric partitioning for the distributed control plane: deterministic,
+//! ToR-contiguous host groups.
+//!
+//! The agent tier (`detector-agent`) runs one pinger agent per *host
+//! group*; each agent owns the [`PingerBatch`]es of every server in its
+//! group. Groups are built ToR-by-ToR — a rack's servers always share an
+//! agent — so an agent failure maps onto whole racks going dark, which is
+//! both the realistic blast radius (the agent daemon runs on rack-local
+//! infrastructure) and what keeps the controller's degraded-mode
+//! bookkeeping simple: a dead agent is exactly a set of unhealthy racks.
+//!
+//! [`PingerBatch`]: https://docs.rs/detector-system
+
+use std::collections::HashMap;
+
+use detector_core::types::NodeId;
+use detector_topology::Dcn;
+
+/// A deterministic partition of a fabric's servers into ToR-contiguous
+/// groups, one per agent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostGroups {
+    groups: Vec<Vec<NodeId>>,
+    owner: HashMap<NodeId, usize>,
+}
+
+/// Splits the fabric's servers into `n` groups without ever splitting a
+/// rack: ToRs (sorted by id) are dealt into `n` contiguous runs of
+/// near-equal size, and each group owns every server under its ToRs.
+///
+/// Deterministic by construction — same graph and `n`, same groups — so
+/// the controller and a test oracle derive identical ownership without
+/// exchanging it. `n` is clamped to at least 1; when `n` exceeds the ToR
+/// count the tail groups are empty (their agents simply own nothing).
+pub fn partition_hosts(graph: &Dcn, n: usize) -> HostGroups {
+    let n = n.max(1);
+    let mut tors: Vec<NodeId> = graph
+        .nodes()
+        .iter()
+        .filter(|node| node.kind.is_switch())
+        .filter(|node| !graph.servers_under(node.id).is_empty())
+        .map(|node| node.id)
+        .collect();
+    tors.sort_unstable();
+
+    let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    let mut owner = HashMap::new();
+    let per = tors.len() / n;
+    let extra = tors.len() % n;
+    let mut next = 0usize;
+    for g in 0..n {
+        let take = per + usize::from(g < extra);
+        let mut servers = Vec::new();
+        for &tor in &tors[next..next + take] {
+            let mut under = graph.servers_under(tor);
+            under.sort_unstable();
+            for s in under {
+                // Multi-homed servers (BCube hangs each server off one
+                // switch per level) belong to their lowest-id switch.
+                if let std::collections::hash_map::Entry::Vacant(e) = owner.entry(s) {
+                    e.insert(g);
+                    servers.push(s);
+                }
+            }
+        }
+        next += take;
+        groups.push(servers);
+    }
+    HostGroups { groups, owner }
+}
+
+impl HostGroups {
+    /// Number of groups (= agents), including empty tail groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when there are no groups (never produced by
+    /// [`partition_hosts`], which clamps `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The servers of group `g`, sorted ascending.
+    pub fn group(&self, g: usize) -> &[NodeId] {
+        &self.groups[g]
+    }
+
+    /// The group owning `server`, if it is a known server.
+    pub fn owner_of(&self, server: NodeId) -> Option<usize> {
+        self.owner.get(&server).copied()
+    }
+
+    /// Iterates the groups in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.groups.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_topology::{BCube, DcnTopology, Fattree};
+
+    #[test]
+    fn groups_are_disjoint_and_total() {
+        let ft = Fattree::new(8).unwrap();
+        let hg = partition_hosts(ft.graph(), 4);
+        assert_eq!(hg.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for g in hg.iter() {
+            for &s in g {
+                assert!(seen.insert(s), "server {s:?} in two groups");
+                total += 1;
+            }
+        }
+        // k = 8 Fattree: k³/4 = 128 servers, all owned.
+        assert_eq!(total, 128);
+        for (i, g) in hg.iter().enumerate() {
+            for &s in g {
+                assert_eq!(hg.owner_of(s), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn racks_are_never_split() {
+        let ft = Fattree::new(8).unwrap();
+        let hg = partition_hosts(ft.graph(), 7); // Uneven on purpose.
+        for g in 0..hg.len() {
+            for &s in hg.group(g) {
+                let tor = ft.graph().switch_of(s).unwrap();
+                for peer in ft.graph().servers_under(tor) {
+                    assert_eq!(
+                        hg.owner_of(peer),
+                        Some(g),
+                        "rack of {tor:?} split across groups"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_clamped() {
+        let ft = Fattree::new(4).unwrap();
+        assert_eq!(
+            partition_hosts(ft.graph(), 3),
+            partition_hosts(ft.graph(), 3)
+        );
+        // n = 0 clamps to one group owning everything.
+        let all = partition_hosts(ft.graph(), 0);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all.group(0).len(), 16);
+        // n beyond the ToR count (8 ToRs at k = 4) leaves empty tails.
+        let wide = partition_hosts(ft.graph(), 11);
+        assert_eq!(wide.len(), 11);
+        assert!(wide.group(10).is_empty());
+        assert_eq!(wide.iter().map(<[NodeId]>::len).sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn server_centric_topologies_group_by_level0_switch() {
+        // BCube servers hang off level-0 switches; those act as the
+        // "racks" here, so the invariants hold unchanged.
+        let bc = BCube::new(4, 1).unwrap();
+        let hg = partition_hosts(bc.graph(), 4);
+        let total: usize = hg.iter().map(<[NodeId]>::len).sum();
+        assert_eq!(total, 16); // 4² servers.
+    }
+}

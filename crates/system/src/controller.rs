@@ -76,6 +76,14 @@ pub struct PlanUpdate {
     /// controller itself does not own the deployed lists; 0 when no
     /// re-dispatch happened.
     pub lists_redispatched: usize,
+    /// Entries that actually traveled: per-entry adds + removes across
+    /// diffed lists, plus every entry of whole-list replacements. Filled
+    /// by the dispatch step alongside `lists_redispatched`.
+    pub entries_diffed: usize,
+    /// Exact wire bytes of the dispatch under the per-entry diff
+    /// protocol ([`crate::dispatch::DeploymentDiff::wire_bytes`]) —
+    /// minimal re-dispatch measured on the wire, not in list counts.
+    pub bytes_dispatched: u64,
     /// Wall-clock time of the whole update (replan + matrix assembly),
     /// microseconds.
     pub replan_micros: u64,
@@ -188,7 +196,10 @@ impl Controller {
             epoch: self.view.epoch(),
             links_changed: changed.len(),
             probes_delta,
-            lists_redispatched: 0, // Known only after pinglist dispatch.
+            // Dispatch accounting is known only after pinglist dispatch.
+            lists_redispatched: 0,
+            entries_diffed: 0,
+            bytes_dispatched: 0,
             replan_micros: t0.elapsed().as_micros() as u64,
             stats,
         })
@@ -303,6 +314,24 @@ impl Controller {
         let offline = self.view.offline_links();
         let interval_us = (1_000_000.0 / self.cfg.probe_rate_pps) as u64;
 
+        // Cell-affinity spread (opt-in, `SystemConfig::cell_affinity`):
+        // paths of one plan cell share a spread key, so from a given ToR
+        // they all land on the same pinger pair and a single-cell delta
+        // touches at most two of that ToR's `pingers_per_tor` lists.
+        // Ranges can leave base order after a re-base, so membership is a
+        // positional scan (cell counts are small: h = k/2 for Fattree).
+        let cell_ranges = if self.cfg.cell_affinity {
+            self.plan.as_ref().map(ProbePlan::cell_ranges)
+        } else {
+            None
+        };
+        let spread_key = |pid: detector_core::types::PathId| -> usize {
+            cell_ranges
+                .as_deref()
+                .and_then(|ranges| ranges.iter().position(|r| r.contains(pid)))
+                .unwrap_or_else(|| pid.index())
+        };
+
         // Pingers per ToR (probe endpoints are ToRs for Fattree/VL2). For
         // server-centric topologies (BCube) the endpoint *is* the pinger.
         let mut lists: Vec<Pinglist> = Vec::new();
@@ -378,7 +407,7 @@ impl Controller {
                 // At least two pingers per path.
                 let take = pingers.len().clamp(1, 2);
                 for j in 0..take {
-                    let pinger = pingers[(path.id.index() + j) % pingers.len()];
+                    let pinger = pingers[(spread_key(path.id) + j) % pingers.len()];
                     let mut r = route.clone();
                     r[0] = pinger;
                     let li = list_for(pinger, &mut lists);
@@ -607,6 +636,55 @@ mod tests {
         // original version and nothing is re-dispatched.
         assert_eq!(redispatched, 0);
         assert!(d2.pinglists.iter().all(|l| l.version == d1.version));
+    }
+
+    #[test]
+    fn cell_affinity_reduces_redispatch_with_wide_pinger_pools() {
+        // The Fattree cell-partition smell: with `pingers_per_tor > 2`
+        // the default spread (`path.id` keyed) scatters every cell over
+        // the whole pinger pool, so a single-cell delta re-dispatches all
+        // of a ToR's lists. The ToR-locality heuristic keys the spread on
+        // the plan cell instead, pinning each cell to one pinger pair —
+        // strictly fewer lists travel for the same delta.
+        let ft = Arc::new(Fattree::new(8).unwrap());
+        let dead = ft.ea_link(1, 1, 0);
+        let redispatched = |affinity: bool| -> usize {
+            let cfg = SystemConfig {
+                pingers_per_tor: 4,
+                cell_affinity: affinity,
+                ..SystemConfig::default()
+            };
+            let mut ctl = Controller::new(ft.clone(), cfg);
+            let d1 = ctl.build_deployment(&HashSet::new()).unwrap();
+            ctl.apply_event(&TopologyEvent::LinkDown { link: dead })
+                .unwrap();
+            let mut d2 = ctl.build_deployment(&HashSet::new()).unwrap();
+            d2.rebase_versions(&d1)
+        };
+        let baseline = redispatched(false);
+        let affine = redispatched(true);
+        assert!(
+            affine < baseline,
+            "cell affinity must shrink the re-dispatch ({affine} !< {baseline})"
+        );
+    }
+
+    #[test]
+    fn cell_affinity_is_a_noop_at_two_pingers_per_tor() {
+        // The documented negative result for the default configuration:
+        // with 2 pingers per ToR and 2 copies per path, both pingers get
+        // every path regardless of the spread key — `(key + j) % 2` over
+        // j ∈ {0, 1} hits both — so no heuristic keyed on the spread can
+        // reduce `lists_redispatched`. The deployments are bit-identical.
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let build = |affinity: bool| {
+            let cfg = SystemConfig::default().with_cell_affinity(affinity);
+            let mut ctl = Controller::new(ft.clone(), cfg);
+            ctl.build_deployment(&HashSet::new()).unwrap()
+        };
+        let plain = build(false);
+        let affine = build(true);
+        assert_eq!(plain.pinglists, affine.pinglists);
     }
 
     #[test]

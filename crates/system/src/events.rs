@@ -118,6 +118,13 @@ pub enum RuntimeEvent {
         /// the touched cell's paths; every other pinger keeps its
         /// version and its cached binding.
         lists_redispatched: usize,
+        /// Entries that traveled under the per-entry diff protocol
+        /// (adds + removes across diffed lists, plus every entry of
+        /// whole-list replacements).
+        entries_diffed: usize,
+        /// Exact wire bytes of the dispatch — minimal re-dispatch
+        /// measured on the wire, not in list counts.
+        bytes_dispatched: u64,
         /// Wall-clock cost of the incremental re-plan, microseconds.
         replan_micros: u64,
     },
@@ -170,6 +177,8 @@ impl ToJson for RuntimeEvent {
                 links_changed,
                 probes_delta,
                 lists_redispatched,
+                entries_diffed,
+                bytes_dispatched,
                 replan_micros,
             } => Json::obj(vec![
                 ("event", Json::Str("plan_updated".into())),
@@ -177,6 +186,8 @@ impl ToJson for RuntimeEvent {
                 ("links_changed", Json::uint(*links_changed as u64)),
                 ("probes_delta", Json::Int(*probes_delta)),
                 ("lists_redispatched", Json::uint(*lists_redispatched as u64)),
+                ("entries_diffed", Json::uint(*entries_diffed as u64)),
+                ("bytes_dispatched", Json::uint(*bytes_dispatched)),
                 ("replan_micros", Json::uint(*replan_micros)),
             ]),
         }
@@ -196,12 +207,19 @@ impl RuntimeEvent {
                 links_changed,
                 probes_delta,
                 lists_redispatched,
+                entries_diffed,
+                bytes_dispatched,
                 ..
             } => RuntimeEvent::PlanUpdated {
                 epoch: *epoch,
                 links_changed: *links_changed,
                 probes_delta: *probes_delta,
                 lists_redispatched: *lists_redispatched,
+                // Dispatch accounting is deterministic (a pure function
+                // of the old and new deployments), so equivalence
+                // harnesses compare it un-normalized.
+                entries_diffed: *entries_diffed,
+                bytes_dispatched: *bytes_dispatched,
                 replan_micros: 0,
             },
             other => other.clone(),
@@ -238,6 +256,8 @@ impl RuntimeEvent {
                 links_changed: v.get("links_changed")?.as_usize()?,
                 probes_delta: v.get("probes_delta")?.as_i64()?,
                 lists_redispatched: v.get("lists_redispatched")?.as_usize()?,
+                entries_diffed: v.get("entries_diffed")?.as_usize()?,
+                bytes_dispatched: v.get("bytes_dispatched")?.as_u64()?,
                 replan_micros: v.get("replan_micros")?.as_u64()?,
             }),
             _ => None,
@@ -410,6 +430,8 @@ mod tests {
                 links_changed: 4,
                 probes_delta: -3,
                 lists_redispatched: 5,
+                entries_diffed: 11,
+                bytes_dispatched: 742,
                 replan_micros: 1250,
             },
         ];

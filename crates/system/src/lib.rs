@@ -65,6 +65,7 @@ mod clock;
 mod controller;
 mod dataplane;
 mod diagnoser;
+pub mod dispatch;
 mod events;
 mod pinger;
 mod pinglist;
@@ -81,6 +82,7 @@ pub use clock::SimClock;
 pub use controller::{Controller, Deployment, PlanUpdate};
 pub use dataplane::{DataPlane, ProbeOutcome};
 pub use diagnoser::{Diagnoser, DiagnosisEvent};
+pub use dispatch::{DeploymentDiff, DispatchStats, ListUpdate};
 pub use events::{CollectingSink, EventSink, JsonLinesSink, RuntimeEvent, WindowResult};
 pub use pinger::{batch_seed, Pinger, PingerBatch, PingerCostModel};
 pub use pinglist::{PingEntry, Pinglist};
@@ -134,6 +136,18 @@ pub struct SystemConfig {
     /// [`IdHeadroom::NONE`] makes every growth a re-base, which is how
     /// the re-base path is exercised in tests.
     pub id_headroom: IdHeadroom,
+    /// Opt-in ToR-locality pinger spread: key the pinger choice on the
+    /// plan *cell* a path belongs to instead of the path id, so every
+    /// path of one cell sourced at a given ToR lands on the same pinger
+    /// pair and a single-cell delta re-dispatches fewer pinglists.
+    ///
+    /// Off by default because it only helps when `pingers_per_tor > 2`:
+    /// with the default 2 pingers per ToR and 2 copies per path, both
+    /// pingers necessarily carry every cell that crosses their ToR, so
+    /// the spread key cannot reduce `lists_redispatched`. Raising
+    /// `pingers_per_tor` trades per-cell affinity (fewer lists touched
+    /// per delta) against per-pinger load spread.
+    pub cell_affinity: bool,
 }
 
 impl Default for SystemConfig {
@@ -159,6 +173,7 @@ impl Default for SystemConfig {
                 ..PllConfig::default()
             },
             id_headroom: IdHeadroom::default(),
+            cell_affinity: false,
         }
     }
 }
@@ -173,6 +188,14 @@ impl SystemConfig {
     /// Overrides the PMC (α, β) targets.
     pub fn with_pmc(mut self, pmc: PmcConfig) -> Self {
         self.pmc = pmc;
+        self
+    }
+
+    /// Enables the cell-affinity pinger spread (see
+    /// [`SystemConfig::cell_affinity`]); only useful together with
+    /// `pingers_per_tor > 2`.
+    pub fn with_cell_affinity(mut self, on: bool) -> Self {
+        self.cell_affinity = on;
         self
     }
 

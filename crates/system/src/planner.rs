@@ -42,13 +42,13 @@
 //! one ([`ReplanStats::cells_rebased`]); retired ranges are never reused
 //! within a plan's lifetime, so a stale id can never alias a live path.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Instant;
 
 use detector_core::pmc::{
     construct_decomposed_parallel, construct_with_provider, decompose, resolve_subproblem,
-    run_indexed_parallel, Achieved, ExcludingProvider, PmcConfig, PmcError, ProbeMatrix,
-    SubSolution, Subproblem,
+    resolve_subproblem_seeded, Achieved, ExcludingProvider, JobPool, PmcConfig, PmcError,
+    ProbeMatrix, SubSolution, Subproblem,
 };
 use detector_core::types::{LinkId, PathIdRange, ProbePath};
 use detector_topology::{BaseComponent, SharedTopology};
@@ -555,39 +555,84 @@ impl ProbePlan {
 
     /// Re-solves one cell against an exclusion set (does not mutate the
     /// cell; the caller splices the result).
+    ///
+    /// Under [`PmcConfig::stable_patch`] the re-solve is *seeded* with the
+    /// cell's current solution: surviving paths are pre-selected and the
+    /// greedy repairs only what the delta broke, so the dispatched
+    /// pinglist diff stays proportional to the delta instead of the cell
+    /// size. Replica cells stabilize against the fresh replica solve's
+    /// paths (pulling the seed back into base coordinates would need the
+    /// inverse of the replicate map, which symmetry plans do not expose);
+    /// when the cell heals completely and a pristine solution is cached,
+    /// that cache stands in for the solve as the candidate pool.
     fn resolve_cell(&self, ci: usize, excluded: &[LinkId]) -> Result<SubSolution, PmcError> {
         let cell = &self.cells[ci];
         let excluded_set: HashSet<LinkId> = excluded.iter().copied().collect();
         match &cell.source {
             CellSource::Materialized(candidates) => {
-                resolve_subproblem(&cell.universe, candidates, &excluded_set, &self.cfg)
+                if self.cfg.stable_patch {
+                    resolve_subproblem_seeded(
+                        &cell.universe,
+                        candidates,
+                        &excluded_set,
+                        &cell.solution.paths,
+                        &self.cfg,
+                    )
+                    .map(|s| align_with_previous(&cell.solution.paths, s))
+                } else {
+                    resolve_subproblem(&cell.universe, candidates, &excluded_set, &self.cfg)
+                }
             }
             CellSource::Replica {
                 base,
                 replica,
                 to_base,
-            } => resolve_replica(&self.topo, &self.cfg, *base, *replica, to_base, excluded),
+            } => {
+                if self.cfg.stable_patch {
+                    let pool = match (&cell.pristine, excluded.is_empty()) {
+                        (Some(pristine), true) => pristine.paths.clone(),
+                        _ => {
+                            resolve_replica(
+                                &self.topo, &self.cfg, *base, *replica, to_base, excluded,
+                            )?
+                            .paths
+                        }
+                    };
+                    resolve_subproblem_seeded(
+                        &cell.universe,
+                        &pool,
+                        &excluded_set,
+                        &cell.solution.paths,
+                        &self.cfg,
+                    )
+                    .map(|s| align_with_previous(&cell.solution.paths, s))
+                } else {
+                    resolve_replica(&self.topo, &self.cfg, *base, *replica, to_base, excluded)
+                }
+            }
         }
     }
 
     /// Re-solves a batch of cells concurrently, results in input order —
     /// every cell (materialized or replica) runs the identical
-    /// [`ProbePlan::resolve_cell`] procedure, fanned out over
-    /// [`run_indexed_parallel`] (the driver underneath
-    /// `construct_decomposed_parallel`). Because each cell's solve
-    /// derives its own deadline from `cfg.timeout`, the parallel batch
-    /// has exactly the per-cell budget semantics of the sequential
-    /// fallback: only the schedule differs, never the result.
+    /// [`ProbePlan::resolve_cell`] procedure, fanned out over the
+    /// [`JobPool`] the PMC config implies (host parallelism unless
+    /// [`PmcConfig::workers`] bounds it — the distributed controller's
+    /// sharding knob). Because each cell's solve derives its own
+    /// deadline from `cfg.timeout`, the parallel batch has exactly the
+    /// per-cell budget semantics of the sequential fallback: only the
+    /// schedule differs, never the result.
     fn resolve_cells_parallel(
         &self,
         solves: &[(usize, Vec<LinkId>)],
     ) -> Result<Vec<SubSolution>, PmcError> {
-        run_indexed_parallel(solves.len(), |i| {
-            let (ci, excluded) = &solves[i];
-            self.resolve_cell(*ci, excluded)
-        })
-        .into_iter()
-        .collect()
+        JobPool::from_config(&self.cfg)
+            .run_indexed(solves.len(), |i| {
+                let (ci, excluded) = &solves[i];
+                self.resolve_cell(*ci, excluded)
+            })
+            .into_iter()
+            .collect()
     }
 
     /// Assembles the current per-cell solutions into a *segmented* probe
@@ -646,6 +691,60 @@ fn cell_exclusions(universe: &[LinkId], offline: &HashSet<LinkId>) -> Vec<LinkId
         .copied()
         .filter(|l| offline.contains(l))
         .collect()
+}
+
+/// Re-orders a seeded re-solve so every surviving path keeps its previous
+/// in-cell index — and with it its dense-range `PathId`, its entry bytes
+/// and its pinger assignment — so the dispatched diff touches only
+/// genuinely changed paths. Repair paths fill the vacated slots in
+/// ascending order and spares append past the old length; when the
+/// solution shrank instead, tail paths move forward into the remaining
+/// holes (the minimal id churn a dense range permits).
+fn align_with_previous(old: &[ProbePath], mut new: SubSolution) -> SubSolution {
+    let mut fresh: Vec<Option<ProbePath>> = new.paths.into_iter().map(Some).collect();
+    let mut slots: Vec<Option<ProbePath>> = old
+        .iter()
+        .map(|o| {
+            fresh
+                .iter_mut()
+                .find(|s| {
+                    s.as_ref()
+                        .is_some_and(|n| n.links() == o.links() && n.nodes() == o.nodes())
+                })
+                .and_then(Option::take)
+        })
+        .collect();
+    let mut spares: VecDeque<ProbePath> = fresh.into_iter().flatten().collect();
+    for slot in slots.iter_mut() {
+        if slot.is_none() {
+            if let Some(f) = spares.pop_front() {
+                *slot = Some(f);
+            }
+        }
+    }
+    slots.extend(spares.into_iter().map(Some));
+    let mut i = 0;
+    while i < slots.len() {
+        if slots[i].is_some() {
+            i += 1;
+            continue;
+        }
+        while matches!(slots.last(), Some(None)) {
+            slots.pop();
+        }
+        if i + 1 >= slots.len() {
+            slots.truncate(i);
+            break;
+        }
+        let last = slots
+            .pop()
+            .expect("checked non-empty")
+            .expect("trailing holes dropped");
+        slots[i] = Some(last);
+        i += 1;
+    }
+    new.paths = slots.into_iter().flatten().collect();
+    new
 }
 
 /// Re-homes a base solution onto replica `r`.
@@ -774,6 +873,102 @@ mod tests {
 
         let scratch = ProbePlan::with_exhaustive_limit(topo, &cfg, &offline, 0).unwrap();
         assert_matrices_equivalent(&patched.matrix(), &scratch.matrix());
+    }
+
+    /// Counts matrix rows that changed between two segmented matrices,
+    /// comparing by id: a row churns when its id vanished, appeared, or
+    /// carries different links.
+    fn rows_changed(before: &ProbeMatrix, after: &ProbeMatrix) -> usize {
+        let index = |m: &ProbeMatrix| -> HashMap<_, Vec<LinkId>> {
+            m.paths.iter().map(|p| (p.id, p.links().to_vec())).collect()
+        };
+        let (b, a) = (index(before), index(after));
+        let mut changed = 0;
+        for (id, links) in &b {
+            if a.get(id) != Some(links) {
+                changed += 1;
+            }
+        }
+        changed + a.keys().filter(|id| !b.contains_key(id)).count()
+    }
+
+    #[test]
+    fn stable_patch_repairs_instead_of_reshuffling() {
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1).with_stable_patch();
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(1, 0, 1);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+
+        let mut plan = ProbePlan::new(topo.clone(), &cfg, &HashSet::new()).unwrap();
+        let before = plan.matrix();
+        let through = before.paths_through(dead).count();
+        assert!(through > 0);
+        plan.apply(&[dead], &offline).unwrap();
+        let after = plan.matrix();
+
+        // Same targets as the canonical (unseeded) re-plan…
+        let scratch = ProbePlan::new(topo, &PmcConfig::identifiable(1), &offline).unwrap();
+        assert_eq!(after.achieved, scratch.matrix().achieved);
+        assert!(after.uncoverable.contains(&dead));
+        assert!(after.paths.iter().all(|p| !p.covers(dead)));
+        // …but churn bounded by the delta: only the paths through the
+        // dead link (replaced in place by repairs) may move, give or
+        // take a couple of redundancy drops — never the whole cell.
+        let churned = rows_changed(&before, &after);
+        assert!(
+            churned <= 2 * through + 2,
+            "stable patch churned {churned} rows for {through} dead paths"
+        );
+    }
+
+    #[test]
+    fn stable_patch_repairs_replica_cells_too() {
+        let topo = shared(6);
+        let cfg = PmcConfig::identifiable(1).with_stable_patch();
+        let ft = Fattree::new(6).unwrap();
+        let dead = ft.ac_link(2, 1, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+
+        // Limit 0 forces the symmetric (Replica-cell) path.
+        let mut plan =
+            ProbePlan::with_exhaustive_limit(topo.clone(), &cfg, &HashSet::new(), 0).unwrap();
+        let before = plan.matrix();
+        let through = before.paths_through(dead).count();
+        assert!(through > 0);
+        let stats = plan.apply(&[dead], &offline).unwrap();
+        assert_eq!(stats.cells_resolved, 1);
+        let after = plan.matrix();
+
+        let scratch =
+            ProbePlan::with_exhaustive_limit(topo, &PmcConfig::identifiable(1), &offline, 0)
+                .unwrap();
+        assert_eq!(after.achieved, scratch.matrix().achieved);
+        assert!(after.paths.iter().all(|p| !p.covers(dead)));
+        let churned = rows_changed(&before, &after);
+        assert!(
+            churned <= 2 * through + 2,
+            "stable patch churned {churned} rows for {through} dead paths"
+        );
+    }
+
+    #[test]
+    fn stable_patch_round_trip_restores_the_pristine_matrix() {
+        let topo = shared(4);
+        let cfg = PmcConfig::identifiable(1).with_stable_patch();
+        let ft = Fattree::new(4).unwrap();
+        let dead = ft.ea_link(0, 0, 0);
+        let offline: HashSet<LinkId> = [dead].into_iter().collect();
+
+        let mut plan = ProbePlan::new(topo, &cfg, &HashSet::new()).unwrap();
+        let before = plan.matrix();
+        plan.apply(&[dead], &offline).unwrap();
+        let stats = plan.apply(&[dead], &HashSet::new()).unwrap();
+        // The heal still splices the cached pristine solution verbatim —
+        // under stable_patch that reverse diff is as small as the
+        // forward one was.
+        assert_eq!(stats.cells_restored, 1);
+        assert_matrices_equal(&before, &plan.matrix());
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl PathCounters {
 }
 
 /// One pinger's report for one window.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PingerReport {
     /// Reporting pinger.
     pub pinger: NodeId,

@@ -22,10 +22,13 @@ use detector_topology::{Dcn, DcnTopology, TopologyEvent, TopologyView};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use detector_core::types::PathIdRange;
+
 use crate::clock::SimClock;
 use crate::controller::{Controller, Deployment, PlanUpdate};
 use crate::dataplane::DataPlane;
 use crate::diagnoser::Diagnoser;
+use crate::dispatch::{rebase_and_diff, rebase_pairs, DispatchStats};
 use crate::events::{EventSink, RuntimeEvent, WindowResult};
 use crate::pinger::PingerBatch;
 use crate::pinglist::Pinglist;
@@ -242,12 +245,20 @@ impl Detector {
     pub fn apply(&mut self, event: &TopologyEvent) -> Result<PlanUpdate, PmcError> {
         // detlint::allow(determinism, reason = "replan_micros stopwatch; measurement only, never branches")
         let t0 = Instant::now();
+        let ranges_before = self.controller.probe_plan().map(|p| p.cell_ranges());
         let mut update = self.controller.apply_event(event)?;
         if update.links_changed > 0 {
             let dep = self
                 .controller
                 .build_deployment(self.watchdog.unhealthy_set())?;
-            update.lists_redispatched = self.install_deployment(dep);
+            // Cells whose id range moved (overflow re-base): the wire
+            // diff broadcasts them so agents can retire the old ids.
+            let ranges_after = self.controller.probe_plan().map(|p| p.cell_ranges());
+            let rebases = rebase_pairs(ranges_before.as_deref(), ranges_after.as_deref());
+            let stats = self.install_deployment(dep, &rebases);
+            update.lists_redispatched = stats.lists_redispatched;
+            update.entries_diffed = stats.entries_diffed;
+            update.bytes_dispatched = stats.bytes_dispatched;
         }
         // Report the full replan latency: view update + plan patch +
         // matrix assembly + pinglist re-dispatch.
@@ -257,6 +268,8 @@ impl Detector {
             links_changed: update.links_changed,
             probes_delta: update.probes_delta,
             lists_redispatched: update.lists_redispatched,
+            entries_diffed: update.entries_diffed,
+            bytes_dispatched: update.bytes_dispatched,
             replan_micros: update.replan_micros,
         };
         for s in self.sinks.iter_mut() {
@@ -269,11 +282,16 @@ impl Detector {
     /// keep their cached pinger bindings, points the diagnoser at the new
     /// matrix, and prunes bindings of servers no longer on pinger duty.
     /// Shared by [`Detector::apply`] and the cycle refresh in
-    /// [`Detector::step`]. Returns the number of re-dispatched lists.
-    fn install_deployment(&mut self, dep: Deployment) -> usize {
-        let (matrix, redispatched) = install_dispatched(&mut self.deployment, &mut self.bound, dep);
+    /// [`Detector::step`]. Returns the dispatch cost.
+    fn install_deployment(
+        &mut self,
+        dep: Deployment,
+        rebases: &[(PathIdRange, PathIdRange)],
+    ) -> DispatchStats {
+        let (matrix, stats) =
+            install_dispatched(&mut self.deployment, &mut self.bound, dep, rebases);
         self.diagnoser.set_matrix(matrix);
-        redispatched
+        stats
     }
 
     /// Scheduled detection probes per window (before loss confirmations):
@@ -336,7 +354,7 @@ impl Detector {
                 .build_deployment(self.watchdog.unhealthy_set())
             {
                 let (version, num_paths) = (dep.version, dep.matrix.num_paths());
-                self.install_deployment(dep);
+                self.install_deployment(dep, &[]);
                 emit(
                     RuntimeEvent::CycleRefreshed {
                         window,
@@ -413,20 +431,23 @@ impl Detector {
 /// handoff (in the pipelined scheduler the diagnosis stage owns the
 /// diagnoser, so the dispatcher calls this and ships the returned matrix
 /// in the window's meta record): rebase pinglist versions so cached
-/// batches stay valid, install, and prune batches of servers no longer
-/// on pinger duty. Any change to the install protocol must go through
-/// here — sequential/pipelined equivalence depends on both drivers
-/// running the identical procedure.
+/// batches stay valid, compute the wire diff and its cost, install, and
+/// prune batches of servers no longer on pinger duty. Any change to the
+/// install protocol must go through here (or through
+/// [`rebase_and_diff`], which the distributed controller in
+/// `detector-agent` shares) — sequential/pipelined/distributed
+/// equivalence depends on every driver running the identical procedure.
 pub(crate) fn install_dispatched(
     deployment: &mut Deployment,
     bound: &mut HashMap<NodeId, Arc<PingerBatch>>,
     mut dep: Deployment,
-) -> (ProbeMatrix, usize) {
-    let redispatched = dep.rebase_versions(deployment);
+    rebases: &[(PathIdRange, PathIdRange)],
+) -> (ProbeMatrix, DispatchStats) {
+    let (_, stats) = rebase_and_diff(deployment, &mut dep, rebases);
     *deployment = dep;
     let active: HashSet<NodeId> = deployment.pinglists.iter().map(|l| l.pinger).collect();
     bound.retain(|k, _| active.contains(k));
-    (deployment.matrix.clone(), redispatched)
+    (deployment.matrix.clone(), stats)
 }
 
 /// The batch serving `list`, re-binding first iff the dispatched list

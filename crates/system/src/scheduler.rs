@@ -78,6 +78,7 @@ use rand::Rng;
 
 use crate::controller::Controller;
 use crate::dataplane::DataPlane;
+use crate::dispatch::{rebase_pairs, DispatchStats};
 use crate::events::{RuntimeEvent, WindowResult};
 use crate::pinger::PingerBatch;
 use crate::report::PingerReport;
@@ -529,6 +530,7 @@ impl Detector {
                             // diagnosis stage via the meta record.
                             // detlint::allow(determinism, reason = "replan_micros stopwatch; measurement only, never branches")
                             let t0 = Instant::now();
+                            let ranges_before = controller.probe_plan().map(|p| p.cell_ranges());
                             let update = match controller.apply_event(ev) {
                                 Ok(u) => u,
                                 Err(e) => {
@@ -536,14 +538,20 @@ impl Detector {
                                     break;
                                 }
                             };
-                            let mut lists_redispatched = 0;
+                            let mut stats = DispatchStats::default();
                             if update.links_changed > 0 {
                                 match controller.build_deployment(watchdog.unhealthy_set()) {
                                     Ok(dep) => {
-                                        let (matrix, redispatched) =
-                                            install_dispatched(deployment, bound, dep);
+                                        let ranges_after =
+                                            controller.probe_plan().map(|p| p.cell_ranges());
+                                        let rebases = rebase_pairs(
+                                            ranges_before.as_deref(),
+                                            ranges_after.as_deref(),
+                                        );
+                                        let (matrix, s) =
+                                            install_dispatched(deployment, bound, dep, &rebases);
                                         new_matrix = Some(matrix);
-                                        lists_redispatched = redispatched;
+                                        stats = s;
                                     }
                                     Err(e) => {
                                         dispatch_err = Some(e);
@@ -555,7 +563,9 @@ impl Detector {
                                 epoch: update.epoch,
                                 links_changed: update.links_changed,
                                 probes_delta: update.probes_delta,
-                                lists_redispatched,
+                                lists_redispatched: stats.lists_redispatched,
+                                entries_diffed: stats.entries_diffed,
+                                bytes_dispatched: stats.bytes_dispatched,
                                 replan_micros: t0.elapsed().as_micros() as u64,
                             });
                         }
@@ -591,7 +601,7 @@ impl Detector {
                 if window > 0 && start_s.is_multiple_of(cfg.cycle_s) {
                     if let Ok(dep) = controller.build_deployment(watchdog.unhealthy_set()) {
                         let version = dep.version;
-                        let (matrix, _) = install_dispatched(deployment, bound, dep);
+                        let (matrix, _) = install_dispatched(deployment, bound, dep, &[]);
                         new_matrix = Some(matrix);
                         cycle = Some((version, deployment.matrix.num_paths()));
                     }

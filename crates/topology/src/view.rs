@@ -174,6 +174,22 @@ pub struct TopologyDelta {
 }
 
 impl TopologyDelta {
+    /// Rebuilds a delta from its [`ToJson`] representation.
+    pub fn from_json(v: &Json) -> Option<TopologyDelta> {
+        let links = |key: &str| -> Option<Vec<LinkId>> {
+            v.get(key)?
+                .as_array()?
+                .iter()
+                .map(|l| l.as_u32().map(LinkId))
+                .collect()
+        };
+        Some(TopologyDelta {
+            epoch: v.get("epoch")?.as_u64()?,
+            went_down: links("went_down")?,
+            came_up: links("came_up")?,
+        })
+    }
+
     /// True when no link changed state (the event was redundant).
     pub fn is_empty(&self) -> bool {
         self.went_down.is_empty() && self.came_up.is_empty()
@@ -189,6 +205,18 @@ impl TopologyDelta {
             .collect();
         all.sort_unstable();
         all
+    }
+}
+
+impl ToJson for TopologyDelta {
+    fn to_json(&self) -> Json {
+        let links =
+            |ls: &[LinkId]| Json::Array(ls.iter().map(|l| Json::uint(l.0 as u64)).collect());
+        Json::obj(vec![
+            ("epoch", Json::uint(self.epoch)),
+            ("went_down", links(&self.went_down)),
+            ("came_up", links(&self.came_up)),
+        ])
     }
 }
 
@@ -438,6 +466,23 @@ mod tests {
             let text = ev.to_json().to_string();
             let parsed = TopologyEvent::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(parsed, ev);
+        }
+    }
+
+    #[test]
+    fn deltas_round_trip_through_json() {
+        let cases = [
+            TopologyDelta::default(),
+            TopologyDelta {
+                epoch: 9,
+                went_down: vec![LinkId(3), LinkId(17)],
+                came_up: vec![LinkId(4)],
+            },
+        ];
+        for d in cases {
+            let text = d.to_json().to_string();
+            let parsed = TopologyDelta::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(parsed, d);
         }
     }
 

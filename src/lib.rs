@@ -109,6 +109,11 @@ pub use detector_topology as topology;
 
 /// Convenient glob-import surface for examples and quick experiments.
 pub mod prelude {
+    pub use detector_agent::{
+        flaky_loopback, loopback, AgentExit, DistAction, DistError, DistOutcome, DistScript,
+        DistributedDetector, Frame, FrameError, LoopbackEnd, PingerAgent, TcpTransport, Transport,
+        TransportError, MAX_FRAME,
+    };
     pub use detector_baselines::{
         fbtracert_localize, fbtracert_sweep, netbouncer_localize, netbouncer_sweep, BaselineConfig,
         BaselineSystem, FbtracertLocalizer, NetbouncerLocalizer, SweepResult,
@@ -126,7 +131,8 @@ pub mod prelude {
         LinkId, NodeId, PathId, PathIdRange, PathObservation, ProbePath,
     };
     pub use detector_simnet::{
-        ChurnSchedule, Fabric, FailureGenerator, FailureScenario, FlowKey, LossDiscipline,
+        partition_hosts, ChurnSchedule, Fabric, FailureGenerator, FailureScenario, FlowKey,
+        HostGroups, LossDiscipline,
     };
     pub use detector_system::{
         BuildError, CollectingSink, ConfigError, DataPlane, Detector, DetectorBuilder, EventSink,

@@ -94,3 +94,46 @@ fn scheduler_snapshot_parses_and_covers_both_drivers() {
         "snapshot must compare sequential and pipelined drivers: {benches:?}"
     );
 }
+
+/// `BENCH_dispatch.json` carries byte counts, not timings (bytes are
+/// machine-independent, so the snapshot is exactly reproducible with
+/// `DISPATCH_JSON=$PWD/BENCH_dispatch.json cargo bench -p detector-bench
+/// --bench dispatch_bytes`). This check enforces the distributed control
+/// plane's wire-cost claim: a Fattree(16) single-link delta must ship
+/// ≥10× fewer bytes as per-entry diffs than as whole-list redispatch.
+#[test]
+fn dispatch_snapshot_shows_per_entry_diffs_ten_times_below_whole_lists() {
+    let recs = records("BENCH_dispatch.json");
+    let bytes_of = |bench: &str| -> u64 {
+        recs.iter()
+            .find(|r| r.get("bench").and_then(Json::as_str) == Some(bench))
+            .unwrap_or_else(|| panic!("BENCH_dispatch.json: missing bench {bench:?}"))
+            .get("bytes")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("BENCH_dispatch.json: {bench}: missing numeric bytes"))
+    };
+    let diff = bytes_of("per_entry_diff");
+    let whole = bytes_of("whole_list");
+    assert!(diff > 0, "a single-link delta must ship something");
+    for r in &recs {
+        for key in ["group", "bench"] {
+            assert!(
+                r.get(key).and_then(Json::as_str).is_some(),
+                "BENCH_dispatch.json: record missing string field {key}: {r:?}"
+            );
+        }
+    }
+    assert!(
+        diff * 10 <= whole,
+        "per-entry diffs must be ≥10× below whole-list redispatch: \
+         diff {diff} B, whole {whole} B"
+    );
+    // The summary record must agree with the raw byte counts.
+    let ratio = recs
+        .iter()
+        .find(|r| r.get("bench").and_then(Json::as_str) == Some("ratio"))
+        .and_then(|r| r.get("ratio_x100"))
+        .and_then(Json::as_u64)
+        .expect("BENCH_dispatch.json: missing ratio record");
+    assert_eq!(ratio, whole * 100 / diff, "stale ratio record");
+}
