@@ -33,5 +33,6 @@ pub use agent::{AgentExit, PingerAgent};
 pub use frame::{Frame, FrameError, MAX_FRAME};
 pub use runtime::{DistAction, DistError, DistOutcome, DistScript, DistributedDetector};
 pub use transport::{
-    flaky_loopback, loopback, LoopbackEnd, TcpTransport, Transport, TransportError,
+    flaky_loopback, loopback, ControlTransport, LoopbackEnd, TcpTransport, Transport,
+    TransportError,
 };

@@ -59,7 +59,7 @@ use rand::Rng;
 
 use crate::agent::PingerAgent;
 use crate::frame::Frame;
-use crate::transport::{flaky_loopback, loopback, LoopbackEnd, Transport};
+use crate::transport::{flaky_loopback, loopback, ControlTransport};
 
 /// One scripted action for a distributed run.
 #[derive(Clone, Debug, PartialEq)]
@@ -220,13 +220,28 @@ pub struct DistOutcome {
 /// One controller-side agent slot: `None` transport = dead. Bytes moved
 /// over transports of *previous* incarnations (killed or replaced) are
 /// retired into the accumulators so a crash never loses accounting.
+/// Generic over [`ControlTransport`]: loopback ends for the in-process
+/// fleet, [`TcpTransport`](crate::TcpTransport) for real two-process
+/// deployments.
 struct AgentLink {
-    transport: Option<LoopbackEnd>,
+    transport: Option<Box<dyn ControlTransport>>,
     retired_control: u64,
     retired_report: u64,
 }
 
 impl AgentLink {
+    /// Completes the connection handshake: the first agent-bound frame
+    /// must be `Hello`, anything else (or a dead transport) makes a dead
+    /// slot.
+    fn handshake(transport: Option<Box<dyn ControlTransport>>) -> Self {
+        let transport = transport.filter(|t| matches!(t.recv(), Ok(Frame::Hello { .. })));
+        AgentLink {
+            transport,
+            retired_control: 0,
+            retired_report: 0,
+        }
+    }
+
     fn is_live(&self) -> bool {
         self.transport.is_some()
     }
@@ -347,10 +362,8 @@ impl DistributedDetector {
         faults: &[(usize, usize)],
         rng: &mut SmallRng,
     ) -> Result<DistOutcome, DistError> {
-        let n_agents = self.groups.len();
         let topo = self.topo.clone();
         let cfg = self.cfg.clone();
-        let groups = self.groups.clone();
 
         crossbeam::thread::scope(|scope| -> Result<DistOutcome, DistError> {
             // --- Fleet bootstrap -------------------------------------
@@ -362,23 +375,70 @@ impl DistributedDetector {
                 let t = topo.clone();
                 let c = cfg.clone();
                 scope.spawn(move |_| PingerAgent::new(g as u32, t, c).serve(&agent_end, dataplane));
-                let transport = match ctrl_end.recv() {
-                    Ok(Frame::Hello { .. }) => Some(ctrl_end),
-                    _ => None,
-                };
-                AgentLink {
-                    transport,
-                    retired_control: 0,
-                    retired_report: 0,
-                }
+                AgentLink::handshake(Some(Box::new(ctrl_end)))
             };
 
-            let mut links: Vec<AgentLink> = (0..n_agents)
-                .map(|g| {
-                    let budget = faults.iter().find(|(fg, _)| *fg == g).map(|(_, n)| *n);
-                    spawn_agent(g, budget)
-                })
-                .collect();
+            let mut connect = |g: usize| {
+                let budget = faults.iter().find(|(fg, _)| *fg == g).map(|(_, n)| *n);
+                spawn_agent(g, budget)
+            };
+            let mut respawn = |g: usize| spawn_agent(g, None);
+            self.drive_fleet(dataplane, windows, script, &mut connect, &mut respawn, rng)
+        })
+        .map_err(|_| DistError::Protocol("agent thread panicked"))?
+    }
+
+    /// Runs `windows` windows over a fleet reached through
+    /// caller-provided transports — the entry point for real
+    /// multi-process deployments, where each
+    /// [`PingerAgent`](crate::PingerAgent) runs in its own process and
+    /// the controller talks to it over a
+    /// [`TcpTransport`](crate::TcpTransport).
+    ///
+    /// `connect` is called once per host group at bootstrap; returning
+    /// `None` (or a transport whose handshake fails) starts the slot
+    /// dead, degrading its group exactly like a crashed agent. `respawn`
+    /// is called for scripted [`DistAction::AgentUp`] slots. The
+    /// `dataplane` is only used for the controller-side window hooks —
+    /// probes execute against whatever data plane the agent processes
+    /// see, which the caller must configure identically for oracle
+    /// comparisons.
+    pub fn run_distributed_over(
+        &mut self,
+        dataplane: &(dyn DataPlane + Sync),
+        windows: u64,
+        script: &DistScript,
+        rng: &mut SmallRng,
+        connect: &mut dyn FnMut(usize) -> Option<Box<dyn ControlTransport>>,
+        respawn: &mut dyn FnMut(usize) -> Option<Box<dyn ControlTransport>>,
+    ) -> Result<DistOutcome, DistError> {
+        self.drive_fleet(
+            dataplane,
+            windows,
+            script,
+            &mut |g| AgentLink::handshake(connect(g)),
+            &mut |g| AgentLink::handshake(respawn(g)),
+            rng,
+        )
+    }
+
+    /// The transport-agnostic window loop shared by the loopback and
+    /// multi-process drivers: bootstrap the slots via `connect`, sync the
+    /// first deployment, run the windows (respawning [`DistAction::AgentUp`]
+    /// slots via `respawn`), tear the fleet down, and account the wire.
+    fn drive_fleet(
+        &mut self,
+        dataplane: &(dyn DataPlane + Sync),
+        windows: u64,
+        script: &DistScript,
+        connect: &mut dyn FnMut(usize) -> AgentLink,
+        respawn: &mut dyn FnMut(usize) -> AgentLink,
+        rng: &mut SmallRng,
+    ) -> Result<DistOutcome, DistError> {
+        let n_agents = self.groups.len();
+        let groups = self.groups.clone();
+        {
+            let mut links: Vec<AgentLink> = (0..n_agents).map(&mut *connect).collect();
             let mut dispatch_bytes = 0u64;
             for g in 0..n_agents {
                 if !links[g].is_live() {
@@ -416,7 +476,7 @@ impl DistributedDetector {
                             kill(&mut links, &groups, &mut self.watchdog, *g);
                         }
                         DistAction::AgentUp(g) => {
-                            let mut fresh = spawn_agent(*g, None);
+                            let mut fresh = respawn(*g);
                             fresh.retired_control = links[*g].control_bytes();
                             fresh.retired_report = links[*g].report_bytes();
                             links[*g] = fresh;
@@ -508,7 +568,11 @@ impl DistributedDetector {
 
                 // Collect: drain each agent to its WindowDone; an agent
                 // dying mid-window forfeits its reports (its racks go
-                // unhealthy), it never stalls the window.
+                // unhealthy), it never stalls the window. Each Report
+                // frame feeds the ingest-plane shards the moment it is
+                // decoded — aggregation is done before collection ends —
+                // and a dead agent's already-folded reports are
+                // retracted, which lands exactly where the fold did.
                 let mut got: HashMap<NodeId, detector_system::PingerReport> = HashMap::new();
                 for g in dispatched {
                     let Some(t) = &links[g].transport else {
@@ -518,6 +582,7 @@ impl DistributedDetector {
                     let died = loop {
                         match t.recv() {
                             Ok(Frame::Report(r)) => {
+                                self.diagnoser.fold(&r);
                                 from_agent.push(r.pinger);
                                 got.insert(r.pinger, r);
                             }
@@ -532,7 +597,9 @@ impl DistributedDetector {
                     };
                     if died {
                         for p in from_agent {
-                            got.remove(&p);
+                            if let Some(r) = got.remove(&p) {
+                                self.diagnoser.retract(&r);
+                            }
                         }
                         kill(&mut links, &groups, &mut self.watchdog, g);
                     }
@@ -545,6 +612,12 @@ impl DistributedDetector {
                     self.deployment.pinglists.iter().map(|l| l.pinger).collect();
                 for pinger in pingers {
                     if !self.watchdog.is_healthy(pinger) {
+                        // Keep the fold set ≡ the store set: a report from
+                        // a pinger that went unhealthy after it reported is
+                        // withdrawn from the shards too.
+                        if let Some(r) = got.remove(&pinger) {
+                            self.diagnoser.retract(&r);
+                        }
                         self.emit(RuntimeEvent::PingerUnhealthy { window, pinger });
                         continue;
                     }
@@ -559,13 +632,22 @@ impl DistributedDetector {
                         probes_sent: sent,
                         num_paths: report.paths.len(),
                     });
-                    self.diagnoser.ingest(report);
+                    // Already folded at frame receipt — file the raw
+                    // report only.
+                    self.diagnoser.ingest_stored(report);
                 }
 
                 let event = self.diagnoser.diagnose(window, &self.watchdog);
                 self.clock.advance_s(self.cfg.window_s);
                 self.window += 1;
                 self.diagnoser.prune_before(window.saturating_sub(20));
+                self.emit(RuntimeEvent::IngestStats {
+                    window,
+                    reports: event.reports,
+                    paths_active: event.num_observations as u64,
+                    topk_hits: event.topk_hits,
+                    shard_contention: event.shard_contention,
+                });
                 let result = WindowResult {
                     window,
                     start_s,
@@ -596,8 +678,7 @@ impl DistributedDetector {
                 control_bytes,
                 report_bytes,
             })
-        })
-        .map_err(|_| DistError::Protocol("agent thread panicked"))?
+        }
     }
 
     /// Mirrors `Detector::apply` with the install step replaced by the

@@ -59,6 +59,18 @@ pub trait Transport: Send {
     fn bytes_sent(&self) -> u64;
 }
 
+/// A [`Transport`] whose agent→controller byte flow the controller can
+/// account without owning the agent's end — what
+/// [`DistributedDetector`](crate::DistributedDetector) needs from a
+/// control-plane link. The loopback pair reads the peer's send counter
+/// directly; TCP counts bytes as they are received (equal once the
+/// stream is drained, which the window protocol guarantees at every
+/// accounting point).
+pub trait ControlTransport: Transport {
+    /// Agent→controller wire bytes observed so far.
+    fn peer_bytes_sent(&self) -> u64;
+}
+
 /// One end of an in-process loopback pair.
 pub struct LoopbackEnd {
     tx: Sender<Vec<u8>>,
@@ -158,6 +170,12 @@ impl LoopbackEnd {
     }
 }
 
+impl ControlTransport for LoopbackEnd {
+    fn peer_bytes_sent(&self) -> u64 {
+        LoopbackEnd::peer_bytes_sent(self)
+    }
+}
+
 /// A [`Transport`] over a connected TCP stream: frames travel exactly as
 /// [`Frame::encode`] lays them out. Reads and writes are independently
 /// locked so one thread can block in [`recv`](Transport::recv) while
@@ -166,6 +184,7 @@ pub struct TcpTransport {
     reader: Mutex<std::net::TcpStream>,
     writer: Mutex<std::net::TcpStream>,
     sent: AtomicU64,
+    received: AtomicU64,
 }
 
 impl TcpTransport {
@@ -176,6 +195,7 @@ impl TcpTransport {
             reader: Mutex::new(reader),
             writer: Mutex::new(stream),
             sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
         })
     }
 
@@ -218,11 +238,19 @@ impl Transport for TcpTransport {
         r.read_exact(&mut rest).map_err(|e| io_err(&e))?;
         let mut whole = prefix.to_vec();
         whole.extend_from_slice(&rest);
+        self.received
+            .fetch_add(whole.len() as u64, Ordering::Relaxed);
         Ok(Frame::decode(&whole)?)
     }
 
     fn bytes_sent(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)
+    }
+}
+
+impl ControlTransport for TcpTransport {
+    fn peer_bytes_sent(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
     }
 }
 

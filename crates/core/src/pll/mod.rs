@@ -11,6 +11,7 @@
 //! the greedy cover, which classic tomography (Tomo) lacks.
 
 mod classify;
+mod incremental;
 mod localizer;
 mod metrics;
 mod omp;
@@ -21,6 +22,7 @@ mod score_alg;
 mod tomo;
 
 pub use classify::{classify_loss, ClassifyConfig, FlowSample, LossClassification, LossType};
+pub use incremental::IncrementalPll;
 pub use localizer::{Localizer, OmpLocalizer, PllLocalizer, ScoreLocalizer, TomoLocalizer};
 pub use metrics::{evaluate_diagnosis, LocalizationMetrics};
 pub use omp::{localize_omp, OmpConfig};
@@ -52,6 +54,13 @@ pub struct PllConfig {
     /// noiseless (evaluated by the Table 4 sweep in
     /// `tests/accuracy_table4.rs` before being adopted as a default).
     pub prefer_consistent: bool,
+    /// Run localization through [`IncrementalPll`]: cache the
+    /// link-paths skeleton across windows and re-score only the links
+    /// whose paths flipped between lossy and clean, falling back to a
+    /// full rebuild on plan epoch changes, cycle refreshes, or any
+    /// change to the observed path-id set. Produces exactly the same
+    /// diagnosis as the full run (property-tested); off by default.
+    pub incremental: bool,
 }
 
 impl Default for PllConfig {
@@ -61,6 +70,7 @@ impl Default for PllConfig {
             loss_ratio_filter: 1e-3,
             min_loss_count: 1,
             prefer_consistent: false,
+            incremental: false,
         }
     }
 }
@@ -76,6 +86,13 @@ impl PllConfig {
     /// [`PllConfig::prefer_consistent`]).
     pub fn consistency_first(mut self) -> Self {
         self.prefer_consistent = true;
+        self
+    }
+
+    /// Enables incremental cross-window localization (see
+    /// [`PllConfig::incremental`]).
+    pub fn incremental(mut self) -> Self {
+        self.incremental = true;
         self
     }
 }

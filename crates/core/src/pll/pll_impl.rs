@@ -191,10 +191,6 @@ pub fn localize(
     cfg: &PllConfig,
 ) -> Diagnosis {
     let om = ObservedMatrix::build(matrix, observations, cfg);
-    let mut unexplained: Vec<bool> = om.obs.iter().map(|o| o.is_lossy()).collect();
-    let mut remaining: u64 = om.obs.iter().map(|o| o.lost).sum();
-    let mut suspects = Vec::new();
-
     // Hit ratios are computed once: explanation does not change the
     // underlying observation data, only what remains to be explained.
     let hit: Vec<(LinkId, f64)> = om
@@ -202,6 +198,23 @@ pub fn localize(
         .iter()
         .map(|&l| (l, om.hit_ratio(l)))
         .collect();
+    greedy(&om.obs, &om.link_paths, &hit, cfg)
+}
+
+/// The greedy cover (Steps 3–5) over a pre-indexed window: `obs` are the
+/// pre-processed observations, `link_paths` maps every link to its
+/// observed path indices, `hit` lists the candidate links with their hit
+/// ratios in ascending link order. Factored out of [`localize`] so the
+/// incremental mode can rerun it against a cached skeleton.
+pub(super) fn greedy(
+    obs: &[PathObservation],
+    link_paths: &[Vec<u32>],
+    hit: &[(LinkId, f64)],
+    cfg: &PllConfig,
+) -> Diagnosis {
+    let mut unexplained: Vec<bool> = obs.iter().map(|o| o.is_lossy()).collect();
+    let mut remaining: u64 = obs.iter().map(|o| o.lost).sum();
+    let mut suspects = Vec::new();
 
     while remaining > 0 {
         // Step 3: score = lost packets this link could still explain.
@@ -210,14 +223,14 @@ pub fn localize(
         // consistent links (hit ratio 1: *every* observed path through
         // the link is lossy) ahead of any partially consistent one.
         let mut best: Option<(bool, u64, f64, LinkId)> = None;
-        for &(l, h) in &hit {
+        for &(l, h) in hit {
             if h < cfg.hit_ratio_threshold {
                 continue;
             }
-            let score: u64 = om.link_paths[l.index()]
+            let score: u64 = link_paths[l.index()]
                 .iter()
                 .filter(|&&oi| unexplained[oi as usize])
-                .map(|&oi| om.obs[oi as usize].lost)
+                .map(|&oi| obs[oi as usize].lost)
                 .sum();
             if score == 0 {
                 continue;
@@ -241,13 +254,13 @@ pub fn localize(
         // Step 4: blame the link and explain its lossy paths.
         let mut explained_paths = 0u32;
         let mut samples: Vec<(u64, u64)> = Vec::new();
-        for &oi in &om.link_paths[link.index()] {
+        for &oi in &link_paths[link.index()] {
             let oi = oi as usize;
             if unexplained[oi] {
                 unexplained[oi] = false;
                 explained_paths += 1;
-                remaining -= om.obs[oi].lost;
-                samples.push((om.obs[oi].sent, om.obs[oi].lost));
+                remaining -= obs[oi].lost;
+                samples.push((obs[oi].sent, obs[oi].lost));
             }
         }
         suspects.push(SuspectLink {
@@ -259,8 +272,7 @@ pub fn localize(
         });
     }
 
-    let unexplained_paths = om
-        .obs
+    let unexplained_paths = obs
         .iter()
         .enumerate()
         .filter(|(oi, _)| unexplained[*oi])

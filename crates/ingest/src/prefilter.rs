@@ -1,0 +1,186 @@
+//! Top-K pre-filtering of a sealed window before localization.
+//!
+//! PLL only ever blames links that lie on at least one lossy observed
+//! path, and only ever needs, for each such link, *every* observed path
+//! through it (the hit-ratio denominator). So a window's diagnosis is
+//! exactly determined by the **keep set**: the lossy paths plus every
+//! observed path sharing at least one link with a lossy path. Everything
+//! else is clean evidence about links nobody suspects — dropping it
+//! changes nothing, and on a healthy fabric it is almost the whole
+//! window.
+//!
+//! The [`SpaceSaving`] tracker supplies the lossy set cheaply: fed every
+//! lossy observation (in sorted path order, for determinism), an
+//! unsaturated tracker holds *exactly* the distinct lossy paths —
+//! `topk_hits` reports how many. A saturated tracker (more distinct
+//! lossy paths than `K`) can no longer vouch for exactness, so the
+//! filter falls back to a full scan of the sealed snapshot and reports
+//! `topk_hits = 0`; the kept set is identical either way, only the fast
+//! path differs.
+//!
+//! Lossiness here is the raw `lost > 0`, deliberately *wider* than
+//! PLL's noise filter (`preprocess` may normalize small losses away):
+//! keeping a superset of the post-filter lossy paths and their link
+//! closures preserves exact equivalence — see
+//! `filtered_diagnosis_is_exact` and the property tests.
+
+use std::collections::HashSet;
+
+use detector_core::pmc::ProbeMatrix;
+use detector_core::types::{LinkId, PathObservation};
+
+use crate::topk::SpaceSaving;
+
+/// Outcome of pre-filtering one sealed window.
+#[derive(Clone, Debug)]
+pub struct Prefiltered {
+    /// The kept observations, in the input (sorted-by-path) order.
+    pub observations: Vec<PathObservation>,
+    /// Lossy paths confirmed through the unsaturated top-K tracker; zero
+    /// when the tracker saturated and the filter fell back to the full
+    /// scan.
+    pub topk_hits: u64,
+    /// Observations dropped as irrelevant to any suspect link.
+    pub dropped: usize,
+}
+
+/// Filters `observations` (sorted by path id, as
+/// [`crate::SealedWindow`] produces them) down to the paths that can
+/// influence PLL's verdict against `matrix`. `k` is the heavy-hitter
+/// tracker capacity.
+pub fn prefilter(matrix: &ProbeMatrix, observations: &[PathObservation], k: usize) -> Prefiltered {
+    let mut tracker = SpaceSaving::new(k);
+    for o in observations {
+        tracker.offer(o.path, o.lost);
+    }
+    let topk_hits = if tracker.saturated() {
+        0
+    } else {
+        tracker.len() as u64
+    };
+
+    // Links on any lossy path. Paths the matrix cannot resolve (retired
+    // pre-re-base ids) contribute no links but are kept when lossy: they
+    // surface as unexplained, exactly as without the filter.
+    let mut suspect_links: HashSet<LinkId> = HashSet::new();
+    for o in observations.iter().filter(|o| o.is_lossy()) {
+        if let Some(path) = matrix.path(o.path) {
+            suspect_links.extend(path.links());
+        }
+    }
+
+    let mut kept = Vec::with_capacity(observations.len());
+    for o in observations {
+        let keep = o.is_lossy()
+            || matrix
+                .path(o.path)
+                .is_some_and(|p| p.links().iter().any(|l| suspect_links.contains(l)));
+        if keep {
+            kept.push(*o);
+        }
+    }
+    let dropped = observations.len() - kept.len();
+    Prefiltered {
+        observations: kept,
+        topk_hits,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detector_core::pll::{localize, PllConfig};
+    use detector_core::types::{PathId, ProbePath};
+
+    /// p0={0,1}, p1={0,2}, p2={2,3}, p3={3}, p4={1}, p5={4}.
+    fn matrix() -> ProbeMatrix {
+        let paths = vec![
+            ProbePath::from_links(0, vec![LinkId(0), LinkId(1)]),
+            ProbePath::from_links(1, vec![LinkId(0), LinkId(2)]),
+            ProbePath::from_links(2, vec![LinkId(2), LinkId(3)]),
+            ProbePath::from_links(3, vec![LinkId(3)]),
+            ProbePath::from_links(4, vec![LinkId(1)]),
+            ProbePath::from_links(5, vec![LinkId(4)]),
+        ];
+        ProbeMatrix::from_paths(5, paths)
+    }
+
+    fn obs(rows: &[(u32, u64, u64)]) -> Vec<PathObservation> {
+        rows.iter()
+            .map(|&(p, s, l)| PathObservation::new(PathId(p), s, l))
+            .collect()
+    }
+
+    #[test]
+    fn keeps_lossy_paths_and_their_link_neighbours() {
+        // Only p0 lossy (links 0, 1): p1 shares link 0, p4 shares link
+        // 1; p2/p3/p5 touch no suspect link and drop out.
+        let o = obs(&[
+            (0, 100, 40),
+            (1, 100, 0),
+            (2, 100, 0),
+            (3, 100, 0),
+            (4, 100, 0),
+            (5, 100, 0),
+        ]);
+        let f = prefilter(&matrix(), &o, 8);
+        let kept: Vec<u32> = f.observations.iter().map(|o| o.path.0).collect();
+        assert_eq!(kept, vec![0, 1, 4]);
+        assert_eq!(f.dropped, 3);
+        assert_eq!(f.topk_hits, 1);
+    }
+
+    #[test]
+    fn clean_window_drops_everything() {
+        let o = obs(&[(0, 100, 0), (3, 100, 0)]);
+        let f = prefilter(&matrix(), &o, 8);
+        assert!(f.observations.is_empty());
+        assert_eq!(f.topk_hits, 0);
+        assert_eq!(f.dropped, 2);
+    }
+
+    #[test]
+    fn saturated_tracker_falls_back_but_keeps_the_same_set() {
+        let o = obs(&[
+            (0, 100, 10),
+            (1, 100, 10),
+            (2, 100, 10),
+            (3, 100, 10),
+            (4, 100, 10),
+            (5, 100, 0),
+        ]);
+        // k=2 saturates (5 distinct lossy paths).
+        let small = prefilter(&matrix(), &o, 2);
+        assert_eq!(small.topk_hits, 0);
+        let large = prefilter(&matrix(), &o, 64);
+        assert_eq!(large.topk_hits, 5);
+        assert_eq!(small.observations, large.observations);
+    }
+
+    #[test]
+    fn unresolvable_lossy_ids_are_kept() {
+        let o = obs(&[(99, 100, 50), (3, 100, 0)]);
+        let f = prefilter(&matrix(), &o, 8);
+        let kept: Vec<u32> = f.observations.iter().map(|o| o.path.0).collect();
+        assert_eq!(kept, vec![99]);
+    }
+
+    #[test]
+    fn filtered_diagnosis_is_exact() {
+        let cfg = PllConfig::default();
+        let m = matrix();
+        let o = obs(&[
+            (0, 100, 30),
+            (1, 100, 0),
+            (2, 100, 35),
+            (3, 100, 30),
+            (4, 100, 25),
+            (5, 100, 0),
+        ]);
+        let full = localize(&m, &o, &cfg);
+        let f = prefilter(&m, &o, 8);
+        let filtered = localize(&m, &f.observations, &cfg);
+        assert_eq!(full, filtered);
+    }
+}

@@ -1,0 +1,218 @@
+//! Space-saving top-K heavy-hitter tracking (Metwally et al.), used to
+//! keep the lossiest paths of a window in O(K) memory.
+//!
+//! The tracker maintains at most `K` `(path, count, overestimate)`
+//! entries. Offering a tracked path adds to its count; offering an
+//! untracked path when the tracker is full evicts the minimum-count
+//! entry and inherits its count as the newcomer's *overestimate*. This
+//! yields the classic guarantees:
+//!
+//! * every tracked count is an upper bound on the path's true weight,
+//!   over by at most the entry's `overestimate`;
+//! * any path whose true weight exceeds [`SpaceSaving::min_count`] (the
+//!   smallest tracked count, the "k-th tracked path's guaranteed
+//!   bound") is tracked — it can never have been evicted last, because
+//!   its counter would have exceeded the minimum.
+//!
+//! Eviction ties are broken toward the smallest path id, so a fixed
+//! offer sequence always produces the same tracked set — the ingest
+//! plane feeds offers in sorted path order precisely so the per-window
+//! `topk_hits` statistic is reproducible across schedulers.
+
+use std::collections::HashMap;
+
+use detector_core::types::PathId;
+
+/// One tracked heavy hitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopKEntry {
+    /// The tracked path.
+    pub path: PathId,
+    /// Upper bound on the path's true offered weight.
+    pub count: u64,
+    /// How much of `count` may be inherited from evicted strangers:
+    /// `count - overestimate` is a guaranteed lower bound.
+    pub overestimate: u64,
+}
+
+/// A space-saving top-K tracker over path loss weights.
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: Vec<TopKEntry>,
+    index: HashMap<PathId, usize>,
+    evictions: u64,
+}
+
+impl SpaceSaving {
+    /// A tracker holding at most `capacity` paths (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of tracked paths.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently tracked paths.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True once an offer has evicted a tracked path: tracked counts may
+    /// now overestimate, and untracked paths may have non-zero weight.
+    /// While `false`, the tracked set is exactly the offered set.
+    pub fn saturated(&self) -> bool {
+        self.evictions > 0
+    }
+
+    /// Offers `weight` for `path`. Zero weights are ignored (a clean
+    /// path is not a heavy hitter).
+    pub fn offer(&mut self, path: PathId, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        if let Some(&i) = self.index.get(&path) {
+            self.entries[i].count += weight;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.index.insert(path, self.entries.len());
+            self.entries.push(TopKEntry {
+                path,
+                count: weight,
+                overestimate: 0,
+            });
+            return;
+        }
+        // Full: evict the minimum-count entry (smallest path id on ties)
+        // and inherit its count as the newcomer's overestimate.
+        let mut min = 0usize;
+        for (i, e) in self.entries.iter().enumerate() {
+            let m = &self.entries[min];
+            if (e.count, e.path) < (m.count, m.path) {
+                min = i;
+            }
+        }
+        let evicted = self.entries[min];
+        self.index.remove(&evicted.path);
+        self.index.insert(path, min);
+        self.entries[min] = TopKEntry {
+            path,
+            count: evicted.count + weight,
+            overestimate: evicted.count,
+        };
+        self.evictions += 1;
+    }
+
+    /// The smallest tracked count — the guaranteed bound: any path whose
+    /// true offered weight exceeds this is tracked. Zero while the
+    /// tracker has spare capacity (then *every* offered path is
+    /// tracked).
+    pub fn min_count(&self) -> u64 {
+        if self.entries.len() < self.capacity {
+            return 0;
+        }
+        self.entries.iter().map(|e| e.count).min().unwrap_or(0)
+    }
+
+    /// True when `path` is currently tracked.
+    pub fn contains(&self, path: PathId) -> bool {
+        self.index.contains_key(&path)
+    }
+
+    /// Tracked entries sorted by descending count (ascending path id on
+    /// ties): the window's heavy hitters, heaviest first.
+    pub fn ranked(&self) -> Vec<TopKEntry> {
+        let mut v = self.entries.clone();
+        v.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.path.cmp(&b.path)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_tracks_exactly() {
+        let mut t = SpaceSaving::new(4);
+        t.offer(PathId(3), 10);
+        t.offer(PathId(1), 5);
+        t.offer(PathId(3), 2);
+        assert!(!t.saturated());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.min_count(), 0);
+        assert!(t.contains(PathId(3)));
+        assert!(t.contains(PathId(1)));
+        let r = t.ranked();
+        assert_eq!(r[0].path, PathId(3));
+        assert_eq!(r[0].count, 12);
+        assert_eq!(r[0].overestimate, 0);
+    }
+
+    #[test]
+    fn zero_weight_is_ignored() {
+        let mut t = SpaceSaving::new(2);
+        t.offer(PathId(0), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn eviction_inherits_the_minimum_count() {
+        let mut t = SpaceSaving::new(2);
+        t.offer(PathId(0), 10);
+        t.offer(PathId(1), 3);
+        t.offer(PathId(2), 1); // Evicts path 1 (count 3).
+        assert!(t.saturated());
+        assert!(t.contains(PathId(2)));
+        assert!(!t.contains(PathId(1)));
+        let e = t
+            .ranked()
+            .into_iter()
+            .find(|e| e.path == PathId(2))
+            .unwrap();
+        assert_eq!(e.count, 4);
+        assert_eq!(e.overestimate, 3);
+    }
+
+    #[test]
+    fn heavy_path_is_never_evicted() {
+        // The guarantee: true weight > min_count implies tracked.
+        let mut t = SpaceSaving::new(3);
+        t.offer(PathId(9), 100);
+        for i in 0..50u32 {
+            t.offer(PathId(i), 1);
+        }
+        assert!(t.contains(PathId(9)));
+        let e = t
+            .ranked()
+            .into_iter()
+            .find(|e| e.path == PathId(9))
+            .unwrap();
+        assert!(e.count >= 100);
+    }
+
+    #[test]
+    fn eviction_ties_break_toward_smallest_path_id() {
+        let mut t = SpaceSaving::new(2);
+        t.offer(PathId(5), 2);
+        t.offer(PathId(3), 2);
+        t.offer(PathId(7), 1); // Both at count 2: path 3 is evicted.
+        assert!(!t.contains(PathId(3)));
+        assert!(t.contains(PathId(5)));
+        assert!(t.contains(PathId(7)));
+    }
+}

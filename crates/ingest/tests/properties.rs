@@ -1,0 +1,157 @@
+//! Property tests for the ingest plane's three correctness claims:
+//!
+//! * the space-saving tracker's classic guarantee — no path whose true
+//!   offered weight exceeds the k-th tracked count is ever missing;
+//! * the top-K pre-filter never changes a diagnosis: PLL over the kept
+//!   set equals PLL over the full window, for arbitrary matrices and
+//!   observations (β-identifiable failure sets are a subset of this);
+//! * fold/retract/seal agree with the naive per-window aggregation,
+//!   including lane collisions (more in-flight windows than lanes) and
+//!   full-shard overflow.
+
+use std::collections::HashMap;
+
+use detector_core::pll::{localize, PllConfig};
+use detector_core::pmc::ProbeMatrix;
+use detector_core::types::{LinkId, PathId, PathObservation, ProbePath};
+use detector_ingest::{prefilter, IngestConfig, IngestPlane, SpaceSaving};
+use proptest::prelude::*;
+
+/// A matrix from raw link-id sets (empty sets are dropped; ids are
+/// dense from 0 so every path resolves).
+fn matrix_from(link_sets: &[Vec<u32>]) -> ProbeMatrix {
+    let paths: Vec<ProbePath> = link_sets
+        .iter()
+        .enumerate()
+        .map(|(i, links)| {
+            ProbePath::from_links(i as u32, links.iter().map(|&l| LinkId(l % 24)).collect())
+        })
+        .collect();
+    ProbeMatrix::from_paths(24, paths)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Space-saving guarantee: after any offer sequence, every path
+    /// whose true total weight exceeds the smallest tracked count is
+    /// tracked, and every tracked count brackets the truth:
+    /// `count - overestimate <= true <= count`.
+    #[test]
+    fn space_saving_never_loses_a_heavy_hitter(
+        offers in proptest::collection::vec((0u32..40, 0u64..25), 0..250),
+        k in 1usize..12,
+    ) {
+        let mut tracker = SpaceSaving::new(k);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for &(path, weight) in &offers {
+            tracker.offer(PathId(path), weight);
+            if weight > 0 {
+                *truth.entry(path).or_default() += weight;
+            }
+        }
+        let bound = tracker.min_count();
+        for (&path, &total) in &truth {
+            prop_assert!(
+                total <= bound || tracker.contains(PathId(path)),
+                "path {path} has true weight {total} > bound {bound} but is untracked"
+            );
+        }
+        for e in tracker.ranked() {
+            let total = truth.get(&e.path.0).copied().unwrap_or(0);
+            prop_assert!(e.count >= total, "count {} under-counts {total}", e.count);
+            prop_assert!(
+                e.count - e.overestimate <= total,
+                "guaranteed floor {} exceeds true weight {total}",
+                e.count - e.overestimate
+            );
+        }
+        if !tracker.saturated() {
+            // Unsaturated tracker == exact offered set, the property the
+            // pre-filter's `topk_hits` statistic rests on.
+            prop_assert_eq!(tracker.len(), truth.len());
+        }
+    }
+
+    /// Pre-filter exactness: PLL over the kept observations equals PLL
+    /// over the whole window — for any matrix shape, loss pattern and
+    /// tracker capacity (saturated or not).
+    #[test]
+    fn prefiltered_diagnosis_equals_full_diagnosis(
+        link_sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..24, 1..5), 1..30),
+        raw_obs in proptest::collection::vec((0u8..2, 1u64..200, 0u64..200), 0..30),
+        k in 1usize..16,
+    ) {
+        let matrix = matrix_from(&link_sets);
+        // Observe a subset of paths, sorted by id as a sealed window is.
+        let observations: Vec<PathObservation> = raw_obs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(observed, _, _))| observed == 1 && i < matrix.num_paths())
+            .map(|(i, &(_, sent, lost))| {
+                PathObservation::new(PathId(i as u32), sent, lost.min(sent))
+            })
+            .collect();
+        let cfg = PllConfig::default();
+        let full = localize(&matrix, &observations, &cfg);
+        let kept = prefilter(&matrix, &observations, k);
+        let filtered = localize(&matrix, &kept.observations, &cfg);
+        prop_assert_eq!(full, filtered, "k={} dropped {}", k, kept.dropped);
+    }
+
+    /// The plane is an exact aggregator: folds minus retracts, across
+    /// colliding lanes and tiny over-full shards, seal to precisely the
+    /// naive per-window totals.
+    #[test]
+    fn plane_seal_matches_naive_aggregation(
+        reports in proptest::collection::vec(
+            (0u64..6, 0u8..2,
+             proptest::collection::vec((0u32..50, 1u64..100, 0u64..100), 1..8)),
+            0..40),
+        shards in 1usize..4,
+        slots in 1usize..8,
+        lanes in 1usize..4,
+    ) {
+        let plane = IngestPlane::new(IngestConfig {
+            shards,
+            slots_per_shard: slots,
+            lanes,
+            topk: 8,
+        });
+        type WindowTotals = (u64, HashMap<u32, (u64, u64)>);
+        let mut naive: HashMap<u64, WindowTotals> = HashMap::new();
+        for (window, keep, entries) in &reports {
+            let entries: Vec<(PathId, u64, u64)> = entries
+                .iter()
+                .map(|&(p, s, l)| (PathId(p), s, l.min(s)))
+                .collect();
+            plane.fold(*window, entries.iter().copied());
+            if *keep == 1 {
+                let w = naive.entry(*window).or_default();
+                w.0 += 1;
+                for (p, s, l) in &entries {
+                    let e = w.1.entry(p.0).or_default();
+                    e.0 += s;
+                    e.1 += l;
+                }
+            } else {
+                // A dead agent's report: fold then retract, like the
+                // distributed controller forfeiting a partial window.
+                plane.retract(*window, entries.iter().copied());
+            }
+        }
+        for window in 0..6u64 {
+            let sealed = plane.seal(window);
+            let (reports, paths) = naive.remove(&window).unwrap_or_default();
+            prop_assert_eq!(sealed.reports, reports, "window {} report count", window);
+            let mut expect: Vec<PathObservation> = paths
+                .into_iter()
+                .filter(|&(_, (s, l))| s > 0 || l > 0)
+                .map(|(p, (s, l))| PathObservation::new(PathId(p), s, l))
+                .collect();
+            expect.sort_unstable_by_key(|o| o.path);
+            prop_assert_eq!(sealed.observations, expect, "window {}", window);
+        }
+    }
+}

@@ -22,6 +22,7 @@ use crate::{Check, Diagnostic, FileCtx};
 /// its whole point) are out of scope.
 const SCOPE: &[&str] = &[
     "crates/core/src/",
+    "crates/ingest/src/",
     "crates/simnet/src/",
     "crates/system/src/",
     "crates/topology/src/",
@@ -108,6 +109,7 @@ mod tests {
     fn scope_covers_runtime_crates_only() {
         assert!(in_scope("crates/system/src/scheduler.rs"));
         assert!(in_scope("crates/core/src/pmc/mod.rs"));
+        assert!(in_scope("crates/ingest/src/plane.rs"));
         assert!(!in_scope("crates/bench/src/bin/fig4.rs"));
         assert!(!in_scope("shims/criterion/src/lib.rs"));
     }

@@ -36,3 +36,21 @@ impl Shared {
         tx.send(v);
     }
 }
+
+// The disciplined ingest shard swap: the seal drains the overflow map
+// under its mutex, the guard dies with the block, and only the frozen
+// snapshot crosses the channel — folding collectors never wait on
+// diagnosis shipping its result.
+struct IngestPlane {
+    overflow: Mutex<Vec<(u64, u64)>>,
+}
+
+impl IngestPlane {
+    fn seal_then_send(&self, window: u64, tx: &Sender<Vec<(u64, u64)>>) {
+        let drained: Vec<(u64, u64)> = {
+            let mut ov = self.overflow.lock();
+            ov.drain(..).filter(|e| e.0 == window).collect()
+        };
+        tx.send(drained);
+    }
+}

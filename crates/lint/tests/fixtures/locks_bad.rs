@@ -34,3 +34,19 @@ impl Shared {
         tx.send(*self.beta.lock());
     }
 }
+
+// The ingest shard-swap hazard: sealing a window drains the overflow
+// map under its mutex (rank above `ReportStore`'s 100), and the sealed
+// snapshot must only be shipped *after* the guard is gone. Holding it
+// across the send couples diagnosis against every folding collector.
+struct IngestPlane {
+    overflow: Mutex<Vec<(u64, u64)>>,
+}
+
+impl IngestPlane {
+    fn seal_under_guard(&self, window: u64, tx: &Sender<Vec<(u64, u64)>>) {
+        let mut ov = self.overflow.lock();
+        let drained = ov.drain(..).filter(|e| e.0 == window).collect();
+        tx.send(drained);
+    }
+}

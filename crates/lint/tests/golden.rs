@@ -64,7 +64,14 @@ fn locks_fixture_fires_each_hazard_and_discipline_is_clean() {
         msgs.iter().any(|m| m.contains("temporary guard")),
         "{msgs:#?}"
     );
-    assert_eq!(d.len(), 4, "{d:#?}");
+    // The ingest shard swap: sealing must not ship the snapshot while
+    // the overflow guard is live.
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`self.overflow`") && m.contains("held across .send()")),
+        "{msgs:#?}"
+    );
+    assert_eq!(d.len(), 5, "{d:#?}");
 
     let d = lint_fixture("locks_allowed.rs");
     assert!(d.is_empty(), "{d:#?}");

@@ -1,10 +1,29 @@
-//! The diagnoser: report aggregation and PLL every window (§3.1, §6.1).
+//! The diagnoser: streaming report aggregation and PLL every window
+//! (§3.1, §6.1).
+//!
+//! Reports feed two stores as they arrive:
+//!
+//! * the sharded [`IngestPlane`] aggregates per-path `(sent, lost)`
+//!   counters lock-free — at diagnosis time the window is *sealed* into
+//!   a frozen, sorted snapshot, so PLL's input exists without any
+//!   per-window `Vec<PingerReport>` re-aggregation;
+//! * the [`ReportStore`] keeps the raw reports for the consumers that
+//!   need per-pinger or per-flow attribution (loss classification,
+//!   watchdog exclusions applied after ingestion).
+//!
+//! Diagnosis runs over the sealed snapshot, pre-filtered to the paths
+//! that can influence the verdict (the top-K heavy-hitter pre-filter) —
+//! or, with [`PllConfig::incremental`], through the cached-skeleton
+//! incremental localizer. Both are exactly equivalent to full PLL over
+//! the unfiltered window.
 
 use detector_core::pll::{
-    classify_loss, localize, ClassifyConfig, Diagnosis, FlowSample, LossClassification, PllConfig,
+    classify_loss, localize, ClassifyConfig, Diagnosis, FlowSample, IncrementalPll,
+    LossClassification, PllConfig,
 };
 use detector_core::pmc::ProbeMatrix;
 use detector_core::types::{LinkId, PathObservation};
+use detector_ingest::{prefilter, IngestPlane};
 
 use crate::report::{PingerReport, ReportStore};
 use crate::watchdog::Watchdog;
@@ -18,6 +37,14 @@ pub struct DiagnosisEvent {
     pub num_observations: usize,
     /// The PLL output.
     pub diagnosis: Diagnosis,
+    /// Reports folded into the window (exclusions subtracted).
+    pub reports: u64,
+    /// Lossy paths confirmed through the unsaturated top-K tracker
+    /// (zero on saturation fallback) — see
+    /// [`RuntimeEvent::IngestStats`](crate::RuntimeEvent::IngestStats).
+    pub topk_hits: u64,
+    /// Shard key-claim CAS retries while the window accumulated.
+    pub shard_contention: u64,
 }
 
 /// The diagnoser service.
@@ -25,15 +52,20 @@ pub struct Diagnoser {
     matrix: ProbeMatrix,
     pll: PllConfig,
     store: ReportStore,
+    plane: IngestPlane,
+    incremental: IncrementalPll,
 }
 
 impl Diagnoser {
     /// A diagnoser for the given probe matrix.
     pub fn new(matrix: ProbeMatrix, pll: PllConfig) -> Self {
+        let plane = IngestPlane::for_paths(matrix.num_paths());
         Self {
             matrix,
             pll,
             store: ReportStore::new(),
+            plane,
+            incremental: IncrementalPll::new(),
         }
     }
 
@@ -42,31 +74,121 @@ impl Diagnoser {
         &self.matrix
     }
 
-    /// Replaces the probe matrix (new controller cycle).
+    /// Replaces the probe matrix (new controller cycle or plan epoch).
+    /// Invalidates the incremental-PLL skeleton — path ids may be reused
+    /// with different link sets — and re-sizes the ingest plane when the
+    /// plan outgrew it. Callers install matrices between windows, after
+    /// the previous window was sealed, so no folded counters are in
+    /// flight here.
     pub fn set_matrix(&mut self, matrix: ProbeMatrix) {
+        let cfg = self.plane.config();
+        if 2 * matrix.num_paths() > cfg.shards * cfg.slots_per_shard {
+            self.plane = IngestPlane::for_paths(matrix.num_paths());
+        }
+        self.incremental.invalidate();
         self.matrix = matrix;
     }
 
-    /// Ingests a pinger report (the HTTP POST of §6.1).
+    /// Ingests a pinger report (the HTTP POST of §6.1): folds its path
+    /// counters into the ingest plane and files the raw report.
     pub fn ingest(&self, report: PingerReport) {
+        self.fold(&report);
+        self.ingest_stored(report);
+    }
+
+    /// Folds a report's path counters into the ingest plane only — the
+    /// distributed controller feeds `Report` frames to the shards the
+    /// moment they arrive, before the window's collection completes.
+    pub fn fold(&self, report: &PingerReport) {
+        self.plane.fold(
+            report.window,
+            report.paths.iter().map(|(p, c)| (*p, c.sent, c.lost)),
+        );
+    }
+
+    /// Undoes a previous [`fold`](Diagnoser::fold): a crashed agent
+    /// forfeits everything it sent in the unfinished window.
+    pub fn retract(&self, report: &PingerReport) {
+        self.plane.retract(
+            report.window,
+            report.paths.iter().map(|(p, c)| (*p, c.sent, c.lost)),
+        );
+    }
+
+    /// Files a raw report without folding it (the counterpart of
+    /// [`fold`](Diagnoser::fold) for reports already in the plane).
+    pub fn ingest_stored(&self, report: PingerReport) {
         self.store.ingest(report);
     }
 
-    /// Aggregated observations of a window, excluding watchdog-flagged
-    /// pingers.
+    /// Aggregated observations of a window from the raw report store,
+    /// excluding watchdog-flagged pingers. The diagnosis path reads the
+    /// sealed ingest plane instead; this remains the attribution-aware
+    /// view (and the oracle the plane is tested against).
     pub fn observations(&self, window: u64, watchdog: &Watchdog) -> Vec<PathObservation> {
         self.store
             .window_observations(window, &|p| !watchdog.is_healthy(p))
     }
 
-    /// Runs PLL over a window's observations.
-    pub fn diagnose(&self, window: u64, watchdog: &Watchdog) -> DiagnosisEvent {
-        let obs = self.observations(window, watchdog);
-        let diagnosis = localize(&self.matrix, &obs, &self.pll);
+    /// Seals the window's ingest-plane snapshot and runs PLL over it.
+    ///
+    /// Watchdog exclusions are applied by subtracting the excluded
+    /// pingers' stored contributions from the snapshot (the plane folds
+    /// reports as they arrive, before health verdicts settle). The
+    /// result is exactly `localize` over
+    /// [`observations`](Diagnoser::observations).
+    pub fn diagnose(&mut self, window: u64, watchdog: &Watchdog) -> DiagnosisEvent {
+        let sealed = self.plane.seal(window);
+        let mut obs = sealed.observations;
+        let mut reports = sealed.reports;
+        let (excluded, excluded_reports) = self
+            .store
+            .excluded_path_totals(window, &|p| !watchdog.is_healthy(p));
+        if excluded_reports > 0 {
+            reports = reports.saturating_sub(excluded_reports);
+            obs.retain_mut(|o| {
+                let Some(&(sent, lost)) = excluded.get(&o.path) else {
+                    return true;
+                };
+                // Real reports never carry lost > sent, so the sealed
+                // counters are un-clamped sums and subtract exactly.
+                o.sent -= sent.min(o.sent);
+                o.lost -= lost.min(o.lost);
+                o.sent > 0 || o.lost > 0
+            });
+        }
+
+        let num_observations = obs.len();
+        let k = self.plane.config().topk;
+        let (diagnosis, topk_hits) = if self.pll.incremental {
+            // The incremental localizer keys its skeleton on the whole
+            // observed id set, so it consumes the unfiltered snapshot;
+            // the tracker statistic is computed the same way the
+            // pre-filter would.
+            let distinct_lossy = obs.iter().filter(|o| o.is_lossy()).count() as u64;
+            let hits = if distinct_lossy > k as u64 {
+                0
+            } else {
+                distinct_lossy
+            };
+            (
+                self.incremental.localize(&self.matrix, &obs, &self.pll),
+                hits,
+            )
+        } else {
+            let f = prefilter(&self.matrix, &obs, k);
+            (
+                localize(&self.matrix, &f.observations, &self.pll),
+                f.topk_hits,
+            )
+        };
         DiagnosisEvent {
             window,
-            num_observations: obs.len(),
+            num_observations,
             diagnosis,
+            reports,
+            topk_hits,
+            shard_contention: sealed.shard_contention,
         }
     }
 
@@ -142,32 +264,82 @@ mod tests {
 
     #[test]
     fn diagnoses_from_aggregated_reports() {
-        let d = Diagnoser::new(matrix(), PllConfig::default());
+        let mut d = Diagnoser::new(matrix(), PllConfig::default());
         // Link 0 bad: paths 0 and 1 lossy from two pingers.
         d.ingest(report(1, 0, &[(0, 50, 25), (1, 50, 25), (2, 50, 0)]));
         d.ingest(report(2, 0, &[(0, 50, 25), (1, 50, 25), (2, 50, 0)]));
         let ev = d.diagnose(0, &Watchdog::new());
         assert_eq!(ev.num_observations, 3);
+        assert_eq!(ev.reports, 2);
+        assert_eq!(ev.topk_hits, 2);
         assert_eq!(ev.diagnosis.suspect_links(), vec![LinkId(0)]);
     }
 
     #[test]
     fn flagged_pingers_are_excluded() {
-        let d = Diagnoser::new(matrix(), PllConfig::default());
+        let mut d = Diagnoser::new(matrix(), PllConfig::default());
         // Pinger 9 is sick and reports everything lost.
         d.ingest(report(1, 0, &[(0, 50, 0), (1, 50, 0), (2, 50, 0)]));
         d.ingest(report(9, 0, &[(0, 50, 50), (1, 50, 50), (2, 50, 50)]));
         let mut w = Watchdog::new();
         w.mark_unhealthy(NodeId(9));
         let ev = d.diagnose(0, &w);
+        assert_eq!(ev.reports, 1);
         assert!(ev.diagnosis.is_clean());
     }
 
     #[test]
     fn empty_window_is_clean() {
-        let d = Diagnoser::new(matrix(), PllConfig::default());
+        let mut d = Diagnoser::new(matrix(), PllConfig::default());
         let ev = d.diagnose(3, &Watchdog::new());
         assert_eq!(ev.num_observations, 0);
+        assert_eq!(ev.reports, 0);
         assert!(ev.diagnosis.is_clean());
+    }
+
+    #[test]
+    fn sealed_snapshot_matches_the_store_aggregation() {
+        let mut d = Diagnoser::new(matrix(), PllConfig::default());
+        d.ingest(report(1, 0, &[(0, 50, 25), (1, 40, 0)]));
+        d.ingest(report(2, 0, &[(0, 10, 1), (2, 30, 30)]));
+        d.ingest(report(9, 0, &[(0, 7, 7), (2, 7, 7)]));
+        let mut w = Watchdog::new();
+        w.mark_unhealthy(NodeId(9));
+        let oracle = d.observations(0, &w);
+        let ev = d.diagnose(0, &w);
+        assert_eq!(ev.num_observations, oracle.len());
+        assert_eq!(
+            ev.diagnosis,
+            localize(d.matrix(), &oracle, &PllConfig::default())
+        );
+    }
+
+    #[test]
+    fn retract_forfeits_a_folded_report() {
+        let d = Diagnoser::new(matrix(), PllConfig::default());
+        let r = report(1, 0, &[(0, 50, 50), (1, 50, 50)]);
+        d.fold(&r);
+        d.retract(&r);
+        let mut d = d;
+        let ev = d.diagnose(0, &Watchdog::new());
+        assert_eq!(ev.num_observations, 0);
+        assert_eq!(ev.reports, 0);
+        assert!(ev.diagnosis.is_clean());
+    }
+
+    #[test]
+    fn incremental_mode_matches_full_diagnosis() {
+        let mut full = Diagnoser::new(matrix(), PllConfig::default());
+        let mut inc = Diagnoser::new(matrix(), PllConfig::default().incremental());
+        for w in 0..4u64 {
+            let lost = if w % 2 == 0 { 25 } else { 0 };
+            for d in [&full, &inc] {
+                d.ingest(report(1, w, &[(0, 50, lost), (1, 50, lost), (2, 50, 0)]));
+            }
+            let a = full.diagnose(w, &Watchdog::new());
+            let b = inc.diagnose(w, &Watchdog::new());
+            assert_eq!(a.diagnosis, b.diagnosis, "window {w}");
+            assert_eq!(a.topk_hits, b.topk_hits, "window {w}");
+        }
     }
 }

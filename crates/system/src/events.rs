@@ -100,6 +100,30 @@ pub enum RuntimeEvent {
         /// Matrix paths the report carries counters for.
         num_paths: usize,
     },
+    /// The ingest plane sealed the window: per-path counters were
+    /// aggregated in the sharded plane as the reports arrived, and
+    /// diagnosis read the frozen snapshot. Emitted after the last
+    /// report/health event of the window, before
+    /// [`DiagnosisReady`](RuntimeEvent::DiagnosisReady).
+    IngestStats {
+        /// Window index.
+        window: u64,
+        /// Pinger reports folded into the window (a crashed agent's
+        /// retracted reports excluded).
+        reports: u64,
+        /// Distinct paths with observations after health exclusions —
+        /// equals the window's `num_observations`.
+        paths_active: u64,
+        /// Lossy paths served by the unsaturated top-K tracker; zero
+        /// when the tracker saturated (more distinct lossy paths than
+        /// its capacity) and the pre-filter fell back to a full scan.
+        topk_hits: u64,
+        /// Key-claim CAS retries in the shards while the window
+        /// accumulated. Depends on the execution schedule (always zero
+        /// under single-threaded folding), so
+        /// [`normalized`](RuntimeEvent::normalized) zeroes it.
+        shard_contention: u64,
+    },
     /// The diagnoser ran PLL over the window's aggregated observations.
     /// Always the last event of a window.
     DiagnosisReady(WindowResult),
@@ -165,6 +189,20 @@ impl ToJson for RuntimeEvent {
                 ("probes_sent", Json::uint(*probes_sent)),
                 ("num_paths", Json::uint(*num_paths as u64)),
             ]),
+            RuntimeEvent::IngestStats {
+                window,
+                reports,
+                paths_active,
+                topk_hits,
+                shard_contention,
+            } => Json::obj(vec![
+                ("event", Json::Str("ingest_stats".into())),
+                ("window", Json::uint(*window)),
+                ("reports", Json::uint(*reports)),
+                ("paths_active", Json::uint(*paths_active)),
+                ("topk_hits", Json::uint(*topk_hits)),
+                ("shard_contention", Json::uint(*shard_contention)),
+            ]),
             RuntimeEvent::DiagnosisReady(result) => {
                 let mut fields = vec![("event".to_string(), Json::Str("diagnosis_ready".into()))];
                 if let Json::Object(inner) = result.to_json() {
@@ -195,13 +233,30 @@ impl ToJson for RuntimeEvent {
 }
 
 impl RuntimeEvent {
-    /// This event with its wall-clock-measured fields zeroed (today just
-    /// `PlanUpdated::replan_micros`) — the canonical form for comparing
-    /// event streams across executions, as the sequential-vs-pipelined
-    /// equivalence harnesses do. If a future variant grows another
-    /// timing field, zero it here and every harness stays correct.
+    /// This event with its execution-dependent fields zeroed
+    /// (`PlanUpdated::replan_micros` and
+    /// `IngestStats::shard_contention`) — the canonical form for
+    /// comparing event streams across executions, as the
+    /// sequential-vs-pipelined equivalence harnesses do. If a future
+    /// variant grows another timing field, zero it here and every
+    /// harness stays correct.
     pub fn normalized(&self) -> RuntimeEvent {
         match self {
+            RuntimeEvent::IngestStats {
+                window,
+                reports,
+                paths_active,
+                topk_hits,
+                ..
+            } => RuntimeEvent::IngestStats {
+                window: *window,
+                reports: *reports,
+                paths_active: *paths_active,
+                topk_hits: *topk_hits,
+                // CAS retries depend on thread interleaving, never on
+                // what was ingested.
+                shard_contention: 0,
+            },
             RuntimeEvent::PlanUpdated {
                 epoch,
                 links_changed,
@@ -249,6 +304,13 @@ impl RuntimeEvent {
                 pinger: NodeId(v.get("pinger")?.as_u32()?),
                 probes_sent: v.get("probes_sent")?.as_u64()?,
                 num_paths: v.get("num_paths")?.as_usize()?,
+            }),
+            "ingest_stats" => Some(RuntimeEvent::IngestStats {
+                window: window()?,
+                reports: v.get("reports")?.as_u64()?,
+                paths_active: v.get("paths_active")?.as_u64()?,
+                topk_hits: v.get("topk_hits")?.as_u64()?,
+                shard_contention: v.get("shard_contention")?.as_u64()?,
             }),
             "diagnosis_ready" => Some(RuntimeEvent::DiagnosisReady(WindowResult::from_json(v)?)),
             "plan_updated" => Some(RuntimeEvent::PlanUpdated {
@@ -423,6 +485,13 @@ mod tests {
                 pinger: detector_core::types::NodeId(17),
                 probes_sent: 960,
                 num_paths: 12,
+            },
+            RuntimeEvent::IngestStats {
+                window: 5,
+                reports: 48,
+                paths_active: 230,
+                topk_hits: 3,
+                shard_contention: 9,
             },
             RuntimeEvent::DiagnosisReady(sample_result()),
             RuntimeEvent::PlanUpdated {

@@ -411,6 +411,16 @@ impl Detector {
         // Keep a few windows of history, as the paper's database would.
         self.diagnoser.prune_before(window.saturating_sub(20));
 
+        emit(
+            RuntimeEvent::IngestStats {
+                window,
+                reports: event.reports,
+                paths_active: event.num_observations as u64,
+                topk_hits: event.topk_hits,
+                shard_contention: event.shard_contention,
+            },
+            &mut self.sinks,
+        );
         let result = WindowResult {
             window,
             start_s,

@@ -501,6 +501,13 @@ impl Detector {
 
                     let event = diagnoser.diagnose(meta.window, &meta.watchdog);
                     diagnoser.prune_before(meta.window.saturating_sub(20));
+                    emit(RuntimeEvent::IngestStats {
+                        window: meta.window,
+                        reports: event.reports,
+                        paths_active: event.num_observations as u64,
+                        topk_hits: event.topk_hits,
+                        shard_contention: event.shard_contention,
+                    });
                     let result = WindowResult {
                         window: meta.window,
                         start_s: meta.start_s,

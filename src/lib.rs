@@ -103,6 +103,7 @@
 
 pub use detector_baselines as baselines;
 pub use detector_core as core;
+pub use detector_ingest as ingest;
 pub use detector_simnet as simnet;
 pub use detector_system as system;
 pub use detector_topology as topology;
@@ -110,9 +111,9 @@ pub use detector_topology as topology;
 /// Convenient glob-import surface for examples and quick experiments.
 pub mod prelude {
     pub use detector_agent::{
-        flaky_loopback, loopback, AgentExit, DistAction, DistError, DistOutcome, DistScript,
-        DistributedDetector, Frame, FrameError, LoopbackEnd, PingerAgent, TcpTransport, Transport,
-        TransportError, MAX_FRAME,
+        flaky_loopback, loopback, AgentExit, ControlTransport, DistAction, DistError, DistOutcome,
+        DistScript, DistributedDetector, Frame, FrameError, LoopbackEnd, PingerAgent, TcpTransport,
+        Transport, TransportError, MAX_FRAME,
     };
     pub use detector_baselines::{
         fbtracert_localize, fbtracert_sweep, netbouncer_localize, netbouncer_sweep, BaselineConfig,
@@ -130,6 +131,7 @@ pub mod prelude {
     pub use detector_core::types::{
         LinkId, NodeId, PathId, PathIdRange, PathObservation, ProbePath,
     };
+    pub use detector_ingest::{prefilter, IngestConfig, IngestPlane, SealedWindow, SpaceSaving};
     pub use detector_simnet::{
         partition_hosts, ChurnSchedule, Fabric, FailureGenerator, FailureScenario, FlowKey,
         HostGroups, LossDiscipline,

@@ -46,6 +46,14 @@ fn config() -> SystemConfig {
     cfg
 }
 
+/// The same config with incremental PLL switched on (the controller
+/// tier's patched localizer).
+fn incremental_config() -> SystemConfig {
+    let mut cfg = config();
+    cfg.pll = cfg.pll.incremental();
+    cfg
+}
+
 fn sample_server(ft: &Fattree, target: u16) -> NodeId {
     let t = u32::from(target);
     let k = ft.k();
@@ -246,6 +254,79 @@ proptest! {
             .expect("sequential oracle");
         prop_assert_eq!(&seq_results, &outcome.results);
         prop_assert_eq!(normalize(seq_sink.events()), normalize(dist_sink.events()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Incremental ≡ full across the control-plane expansion: a
+    /// distributed fleet running `PllConfig::incremental` produces
+    /// exactly the window results and event stream of the sequential
+    /// *full-rescore* oracle, under loss × churn/agent-failure scripts ×
+    /// cycle refreshes. Plan-epoch changes and refreshes land mid-run
+    /// (cycle_s = 60 over 5 windows), exercising the fallback-to-rebuild
+    /// paths; the quiet stretches exercise the patch path.
+    #[test]
+    fn incremental_distributed_equals_full_oracle(
+        failures in proptest::collection::vec((0u16..64, 0u8..3, 0u8..8), 0..3),
+        raw_script in proptest::collection::vec((0u8..6, 0u8..8, 0u16..64), 0..6),
+        seed in 0u64..1_000,
+        agents in 4usize..7,
+    ) {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let windows = 5u64;
+        let mut fabric = Fabric::new(ft.as_ref(), seed ^ 0xFAB);
+        for &(link, kind, level) in &failures {
+            let (l, d) = decode_failure(&ft, link, kind, level);
+            fabric.set_discipline_both(l, d);
+        }
+        let script = raw_script
+            .iter()
+            .fold(DistScript::new(), |s, &(window, kind, target)| {
+                s.at(
+                    u64::from(window) % windows,
+                    decode_action(&ft, agents, kind, target),
+                )
+            });
+
+        let dist_sink = CollectingSink::new();
+        let mut dist =
+            DistributedDetector::new(ft.clone() as SharedTopology, incremental_config(), agents)
+                .expect("boot distributed");
+        dist.add_sink(Box::new(dist_sink.clone()));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let outcome = dist
+            .run_distributed(&fabric, windows, &script, &mut rng)
+            .expect("incremental distributed run");
+
+        let seq_sink = CollectingSink::new();
+        let mut seq = Detector::builder(ft.clone() as SharedTopology)
+            .config(config())
+            .sink(Box::new(seq_sink.clone()))
+            .build()
+            .expect("boot oracle");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let oracle = script.oracle(dist.groups());
+        let seq_results = seq
+            .run_scripted(&fabric, windows, &oracle, &mut rng)
+            .expect("sequential full-rescore oracle");
+
+        prop_assert_eq!(
+            seq_results,
+            outcome.results,
+            "incremental distributed diverges from the full-rescore oracle \
+             (script {:?}, failures {:?})",
+            raw_script,
+            failures
+        );
+        prop_assert_eq!(
+            normalize(seq_sink.events()),
+            normalize(dist_sink.events()),
+            "event streams diverge (script {:?}, failures {:?})",
+            raw_script,
+            failures
+        );
     }
 }
 

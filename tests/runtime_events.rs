@@ -22,6 +22,7 @@ fn kind(e: &RuntimeEvent) -> &'static str {
         RuntimeEvent::CycleRefreshed { .. } => "cycle",
         RuntimeEvent::PingerUnhealthy { .. } => "unhealthy",
         RuntimeEvent::ReportIngested { .. } => "report",
+        RuntimeEvent::IngestStats { .. } => "ingest",
         RuntimeEvent::DiagnosisReady(_) => "ready",
         RuntimeEvent::PlanUpdated { .. } => "plan",
     }
@@ -32,7 +33,8 @@ fn window_of(e: &RuntimeEvent) -> u64 {
         RuntimeEvent::WindowStarted { window, .. }
         | RuntimeEvent::CycleRefreshed { window, .. }
         | RuntimeEvent::PingerUnhealthy { window, .. }
-        | RuntimeEvent::ReportIngested { window, .. } => *window,
+        | RuntimeEvent::ReportIngested { window, .. }
+        | RuntimeEvent::IngestStats { window, .. } => *window,
         RuntimeEvent::DiagnosisReady(w) => w.window,
         // Plan updates happen between windows, never inside a step().
         RuntimeEvent::PlanUpdated { .. } => u64::MAX,

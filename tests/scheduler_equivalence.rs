@@ -32,12 +32,23 @@ fn config() -> SystemConfig {
     }
 }
 
-fn detector(ft: &Arc<Fattree>, sink: CollectingSink) -> Detector {
+/// The same short-cycle config with incremental PLL switched on.
+fn incremental_config() -> SystemConfig {
+    let mut cfg = config();
+    cfg.pll = cfg.pll.incremental();
+    cfg
+}
+
+fn detector_with(ft: &Arc<Fattree>, sink: CollectingSink, cfg: SystemConfig) -> Detector {
     Detector::builder(ft.clone() as SharedTopology)
-        .config(config())
+        .config(cfg)
         .sink(Box::new(sink))
         .build()
         .expect("boot")
+}
+
+fn detector(ft: &Arc<Fattree>, sink: CollectingSink) -> Detector {
+    detector_with(ft, sink, config())
 }
 
 /// Decodes one raw `(kind, target)` pair into a scripted action. Small
@@ -146,6 +157,77 @@ fn check_equivalence(
     assert_eq!(seq.matrix().uncoverable, pipe.matrix().uncoverable);
 }
 
+/// Runs the same scenario full-rescore sequential (the oracle) and
+/// incremental in both drivers, asserting the patched localizer changes
+/// nothing: identical window results and identical normalized event
+/// streams (diagnoses, and the `IngestStats` top-K accounting, match
+/// mode for mode).
+fn check_incremental_equivalence(
+    ft: Arc<Fattree>,
+    failures: &[(u16, u8, u8)],
+    raw_script: &[(u8, u8, u16)],
+    windows: u64,
+    seed: u64,
+    pipeline: &PipelineConfig,
+) {
+    let mut fabric = Fabric::new(ft.as_ref(), seed ^ 0xFAB);
+    for &(link, kind, level) in failures {
+        let (l, d) = decode_failure(&ft, link, kind, level);
+        fabric.set_discipline_both(l, d);
+    }
+    let script = raw_script
+        .iter()
+        .fold(Script::new(), |s, &(window, kind, target)| {
+            s.at(
+                u64::from(window) % windows,
+                decode_action(&ft, kind, target),
+            )
+        });
+
+    let full_sink = CollectingSink::new();
+    let mut full = detector(&ft, full_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let full_results = full
+        .run_scripted(&fabric, windows, &script, &mut rng)
+        .expect("full-rescore oracle");
+
+    let inc_sink = CollectingSink::new();
+    let mut inc = detector_with(&ft, inc_sink.clone(), incremental_config());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let inc_results = inc
+        .run_scripted(&fabric, windows, &script, &mut rng)
+        .expect("incremental sequential run");
+
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = detector_with(&ft, pipe_sink.clone(), incremental_config());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pipe_results = pipe
+        .run_pipelined(&fabric, windows, &script, pipeline, &mut rng)
+        .expect("incremental pipelined run");
+
+    assert_eq!(
+        full_results, inc_results,
+        "incremental sequential diverges from the full rescore \
+         (script {raw_script:?}, failures {failures:?})"
+    );
+    assert_eq!(
+        full_results, pipe_results,
+        "incremental pipelined diverges from the full rescore \
+         (script {raw_script:?}, failures {failures:?})"
+    );
+    let oracle_events = normalize(full_sink.events());
+    assert_eq!(
+        oracle_events,
+        normalize(inc_sink.events()),
+        "incremental sequential event stream diverges"
+    );
+    assert_eq!(
+        oracle_events,
+        normalize(pipe_sink.events()),
+        "incremental pipelined event stream diverges"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -164,6 +246,28 @@ proptest! {
         // 5 windows at cycle_s = 60 ⇒ refreshes inside the run at
         // windows 2 and 4.
         check_equivalence(ft, &failures, &raw_script, 5, seed, &pipeline);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Incremental ≡ full: with `PllConfig::incremental` the patched
+    /// localizer produces exactly the full-rescore diagnosis — results
+    /// and event streams — under loss × churn × cycle refresh, in both
+    /// the sequential and pipelined drivers. Churn and the short cycle
+    /// exercise the fallback-to-rebuild paths; stable stretches
+    /// exercise the patch path.
+    #[test]
+    fn incremental_localization_equals_full(
+        failures in proptest::collection::vec((0u16..64, 0u8..3, 0u8..8), 0..3),
+        raw_script in proptest::collection::vec((0u8..6, 0u8..6, 0u16..64), 0..6),
+        seed in 0u64..1_000,
+        workers in 1usize..5,
+    ) {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let pipeline = PipelineConfig { probe_workers: workers, depth: 2 };
+        check_incremental_equivalence(ft, &failures, &raw_script, 5, seed, &pipeline);
     }
 }
 

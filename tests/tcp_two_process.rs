@@ -1,0 +1,152 @@
+//! Real two-process distributed smoke test: the controller tier in this
+//! process, one [`PingerAgent`] per host group in a *separate OS
+//! process*, speaking the wire protocol over localhost TCP — and the
+//! whole run asserted equal to the single-process sequential oracle.
+//!
+//! The child processes are this same test binary re-entered at
+//! [`child_agent_process`] (selected with `--exact --ignored`), which
+//! rebuilds the identical topology and fabric from the shared
+//! constants, connects a [`TcpTransport`] back to the parent's
+//! listener, and serves frames until `Shutdown`.
+//!
+//! `#[ignore]`d in the default suite (spawns processes, binds sockets);
+//! the CI distributed-smoke job runs it explicitly:
+//! `cargo test --release --test tcp_two_process -- --ignored`.
+
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use detector::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Both processes must build the *same* world from these constants.
+const FATTREE_K: u32 = 4;
+const AGENTS: usize = 2;
+const WINDOWS: u64 = 3;
+const SEED: u64 = 0x7C9;
+
+/// The scenario's failed link: every process derives it the same way.
+fn bad_link(ft: &Fattree) -> LinkId {
+    ft.ac_link(1, 0, 1)
+}
+
+fn fabric(ft: &Fattree) -> Fabric<'_> {
+    let mut fabric = Fabric::quiet(ft);
+    fabric.set_discipline_both(bad_link(ft), LossDiscipline::Full);
+    fabric
+}
+
+/// Child-process entry point; a no-op unless the parent set the
+/// handshake environment. Never run this directly.
+#[test]
+#[ignore = "child-process entry; spawned by two_process_tcp_run_matches_oracle"]
+fn child_agent_process() {
+    let Ok(addr) = std::env::var("DETECTOR_TCP_ADDR") else {
+        return;
+    };
+    let group: u32 = std::env::var("DETECTOR_TCP_GROUP")
+        .expect("group id set alongside the address")
+        .parse()
+        .expect("numeric group id");
+    let ft = Arc::new(Fattree::new(FATTREE_K).expect("child topology"));
+    let fabric = fabric(ft.as_ref());
+    let transport =
+        TcpTransport::connect(addr.parse().expect("socket address")).expect("connect to parent");
+    let exit = PingerAgent::new(group, ft.clone() as SharedTopology, SystemConfig::default())
+        .serve(&transport, &fabric);
+    assert_eq!(exit, AgentExit::Shutdown, "child must exit orderly");
+}
+
+#[test]
+#[ignore = "two-process TCP integration; CI distributed-smoke job runs it with --ignored"]
+fn two_process_tcp_run_matches_oracle() {
+    let ft = Arc::new(Fattree::new(FATTREE_K).expect("topology"));
+    let fabric = fabric(ft.as_ref());
+
+    // One listener per host group keeps the group → connection mapping
+    // deterministic regardless of child start-up order.
+    let listeners: Vec<TcpListener> = (0..AGENTS)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut children: Vec<Child> = listeners
+        .iter()
+        .enumerate()
+        .map(|(g, l)| {
+            Command::new(&exe)
+                .args(["child_agent_process", "--exact", "--ignored"])
+                .env("DETECTOR_TCP_ADDR", l.local_addr().unwrap().to_string())
+                .env("DETECTOR_TCP_GROUP", g.to_string())
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn child agent process")
+        })
+        .collect();
+
+    let dist_sink = CollectingSink::new();
+    let mut dist = DistributedDetector::new(
+        ft.clone() as SharedTopology,
+        SystemConfig::default(),
+        AGENTS,
+    )
+    .expect("boot controller tier");
+    dist.add_sink(Box::new(dist_sink.clone()));
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let outcome = dist
+        .run_distributed_over(
+            &fabric,
+            WINDOWS,
+            &DistScript::new(),
+            &mut rng,
+            &mut |g| {
+                let (stream, _) = listeners[g].accept().ok()?;
+                Some(Box::new(TcpTransport::new(stream).ok()?) as Box<dyn ControlTransport>)
+            },
+            // No scripted AgentUp in this scenario.
+            &mut |_| None,
+        )
+        .expect("distributed TCP run");
+
+    for child in &mut children {
+        let status = child.wait().expect("child exits");
+        assert!(status.success(), "child agent process failed: {status}");
+    }
+
+    // The sequential oracle over the same fabric, seed and (empty)
+    // script must produce identical window results and an identical
+    // normalized event stream — the same contract the loopback
+    // equivalence suite enforces, now across a real process boundary.
+    let seq_sink = CollectingSink::new();
+    let mut seq = Detector::builder(ft.clone() as SharedTopology)
+        .sink(Box::new(seq_sink.clone()))
+        .build()
+        .expect("boot oracle");
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let seq_results = seq
+        .run_scripted(&fabric, WINDOWS, &Script::new(), &mut rng)
+        .expect("sequential oracle");
+
+    assert_eq!(seq_results, outcome.results, "window results diverge");
+    let normalize =
+        |evs: Vec<RuntimeEvent>| evs.iter().map(RuntimeEvent::normalized).collect::<Vec<_>>();
+    assert_eq!(
+        normalize(seq_sink.events()),
+        normalize(dist_sink.events()),
+        "event streams diverge across the process boundary"
+    );
+
+    // The diagnosis caught the scenario's failed link in every window.
+    for r in &outcome.results {
+        assert!(
+            r.diagnosis.suspect_links().contains(&bad_link(&ft)),
+            "window {}: suspects {:?}",
+            r.window,
+            r.diagnosis.suspect_links()
+        );
+    }
+    // Wire accounting flowed through the TCP byte counters.
+    assert!(outcome.control_bytes > 0, "control-plane bytes counted");
+    assert!(outcome.report_bytes > 0, "report-plane bytes counted");
+}
