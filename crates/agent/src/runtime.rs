@@ -288,7 +288,7 @@ impl DistributedDetector {
         let mut controller = Controller::new(topo.clone(), cfg.clone());
         let watchdog = Watchdog::new();
         let deployment = controller.build_deployment(watchdog.unhealthy_set())?;
-        let diagnoser = Diagnoser::new(deployment.matrix.clone(), cfg.pll);
+        let diagnoser = Diagnoser::new(deployment.matrix.clone(), cfg.pll).with_diag(cfg.diag);
         let groups = partition_hosts(topo.graph(), agents);
         Ok(Self {
             topo,
@@ -647,6 +647,13 @@ impl DistributedDetector {
                     paths_active: event.num_observations as u64,
                     topk_hits: event.topk_hits,
                     shard_contention: event.shard_contention,
+                    retract_mismatch: event.retract_mismatch,
+                });
+                self.emit(RuntimeEvent::DiagStats {
+                    window,
+                    lossy_paths: event.lossy_paths,
+                    components: event.components,
+                    suspects: event.diagnosis.suspects.len() as u64,
                 });
                 let result = WindowResult {
                     window,

@@ -1,0 +1,159 @@
+//! Component-parallel diagnosis: per-window PLL on Fattree(16) with
+//! multiple simultaneous failures, sequential `localize` vs the
+//! component-decomposed fan-out (`ComponentPll`) at 4 workers.
+//!
+//! The scenario plants one full-loss edge–agg link in each of several
+//! pods. Full loss turns every observed path through a planted link
+//! lossy, so each pod contributes a heavy island to the lossy-path/link
+//! incidence and the window decomposes into independent components —
+//! the structure `parallel_components` exploits. Two loss variants
+//! alternate between iterations so the parallel arm's per-window verdict
+//! cache never short-circuits an identical window; its per-epoch
+//! skeleton cache stays warm across iterations, exactly as in a real
+//! campaign (the matrix does not change between windows).
+//!
+//! Arms:
+//!
+//! * `sequential` — plain `localize`, the diagnoser's
+//!   `parallel_components = 1` path;
+//! * `parallel_1w` — the component decomposition on one worker
+//!   (attribution: decomposition + skeleton cache without threads);
+//! * `parallel_4w` — the same fan-out on a 4-worker pool, the number
+//!   `BENCH_diag.json` pins (≥1.5× over `sequential`, checked by
+//!   `tests/bench_artifacts.rs`).
+//!
+//! A second group runs a whole 4-window pipelined campaign with
+//! `parallel_components = 4` switched on — the windows/s guard: wiring
+//! the fan-out through the scheduler's worker channel must not slow the
+//! end-to-end window loop by more than 10% against the committed
+//! `BENCH_sched.json` baseline.
+//!
+//! Regenerate with:
+//! `CRITERION_JSON=$PWD/BENCH_diag.json cargo bench -p detector-bench --bench diag_parallel`
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detector_core::pll::{localize, ComponentPll, PllConfig};
+use detector_core::pmc::ProbeMatrix;
+use detector_core::types::{LinkId, PathObservation};
+use detector_simnet::{Fabric, LossDiscipline};
+use detector_system::{Controller, Detector, PipelineConfig, Script, SharedTopology, SystemConfig};
+use detector_topology::Fattree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One full-loss window: every path through a planted link drops all of
+/// its probes, everything else is clean.
+fn window(matrix: &ProbeMatrix, planted: &[LinkId]) -> Vec<PathObservation> {
+    let bad: HashSet<LinkId> = planted.iter().copied().collect();
+    matrix
+        .paths
+        .iter()
+        .map(|p| {
+            let lost = if p.links().iter().any(|l| bad.contains(l)) {
+                300
+            } else {
+                0
+            };
+            PathObservation::new(p.id, 300, lost)
+        })
+        .collect()
+}
+
+fn multifail(c: &mut Criterion) {
+    let ft = Arc::new(Fattree::new(16).expect("fattree"));
+    let ctl_cfg = SystemConfig::default();
+    let mut ctl = Controller::new(ft.clone() as SharedTopology, ctl_cfg);
+    let matrix = ctl
+        .build_deployment(&HashSet::new())
+        .expect("deployment")
+        .matrix;
+
+    // Four failed edge–agg links in each of the sixteen pods — the
+    // paper's gray-failure storm, the worst case for the global greedy
+    // (every selection rescans every candidate of every island). The B
+    // variant moves one failure so consecutive windows differ
+    // (defeating the identical-window verdict cache) while the matrix —
+    // and so the cached skeleton — stays put.
+    let planted_a: Vec<LinkId> = (0..16)
+        .flat_map(|p| {
+            [
+                ft.ea_link(p, p % 8, (p + 1) % 8),
+                ft.ea_link(p, (p + 3) % 8, (p + 5) % 8),
+                ft.ea_link(p, (p + 6) % 8, (p + 2) % 8),
+                ft.ea_link(p, (p + 1) % 8, (p + 4) % 8),
+            ]
+        })
+        .collect();
+    let mut planted_b = planted_a.clone();
+    planted_b[63] = ft.ea_link(9, 1, 6);
+    let windows = [window(&matrix, &planted_a), window(&matrix, &planted_b)];
+    let cfg = PllConfig::default();
+
+    // Each measured iteration diagnoses both window variants, so every
+    // sample covers the same alternating work.
+    let mut g = c.benchmark_group("diag_parallel/fattree16_multifail");
+    g.sample_size(30);
+
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            for w in &windows {
+                localize(&matrix, w, &cfg);
+            }
+        })
+    });
+
+    for workers in [1usize, 4] {
+        let mut cpll = ComponentPll::new();
+        g.bench_function(format!("parallel_{workers}w"), |b| {
+            b.iter(|| {
+                for w in &windows {
+                    cpll.localize(&matrix, w, &cfg, workers);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn windows_guard(c: &mut Criterion) {
+    let ft = Arc::new(Fattree::new(16).expect("fattree"));
+    let mut fabric = Fabric::new(ft.as_ref(), 7);
+    fabric.set_discipline_both(
+        ft.ac_link(3, 1, 2),
+        LossDiscipline::RandomPartial { rate: 0.3 },
+    );
+    // The scheduler-throughput scenario with component-parallel
+    // diagnosis switched on: comparable window for window with
+    // `scheduler_throughput/fattree16_cpu/pipelined` in BENCH_sched.json.
+    let cfg = SystemConfig {
+        cycle_s: u64::MAX,
+        ..SystemConfig::default().with_rate(10.0)
+    }
+    .with_parallel_diagnosis(4);
+    let pipeline = PipelineConfig {
+        probe_workers: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(2, 8),
+        depth: 4,
+    };
+
+    let mut g = c.benchmark_group("diag_parallel/fattree16_windows");
+    g.sample_size(10);
+    let mut run = Detector::new(ft.clone() as SharedTopology, cfg).expect("boot");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let script = Script::new();
+    g.bench_function("pipelined_diag4", |b| {
+        b.iter(|| {
+            run.run_pipelined(&fabric, 4, &script, &pipeline, &mut rng)
+                .expect("pipelined campaign")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, multifail, windows_guard);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 //! the greedy cover, which classic tomography (Tomo) lacks.
 
 mod classify;
+pub mod components;
 mod incremental;
 mod localizer;
 mod metrics;
@@ -22,6 +23,9 @@ mod score_alg;
 mod tomo;
 
 pub use classify::{classify_loss, ClassifyConfig, FlowSample, LossClassification, LossType};
+pub use components::{
+    lossy_components, ComponentJob, ComponentPlan, ComponentPll, ComponentVerdict,
+};
 pub use incremental::IncrementalPll;
 pub use localizer::{Localizer, OmpLocalizer, PllLocalizer, ScoreLocalizer, TomoLocalizer};
 pub use metrics::{evaluate_diagnosis, LocalizationMetrics};

@@ -115,6 +115,10 @@ struct Lane {
     tag: AtomicU64,
     /// Reports folded (minus retracted) into this bank.
     reports: AtomicU64,
+    /// Retractions (entries or report counts) the bank could not absorb
+    /// because nothing that large was ever folded — see
+    /// [`SealedWindow::retract_mismatch`].
+    mismatch: AtomicU64,
     shards: Box<[CachePadded<Shard>]>,
 }
 
@@ -124,6 +128,7 @@ struct Lane {
 #[derive(Default)]
 struct OverflowWindow {
     reports: u64,
+    mismatch: u64,
     paths: HashMap<PathId, (u64, u64)>,
 }
 
@@ -139,6 +144,12 @@ pub struct SealedWindow {
     /// Execution-schedule dependent: zero under single-threaded folding,
     /// anything under concurrency — event normalization zeroes it.
     pub shard_contention: u64,
+    /// Retractions the window could not absorb: a retracted entry (or
+    /// report count) exceeding what was folded — a duplicate crash
+    /// notification, a double retract — subtracts only what is there
+    /// (saturating, never wrapping) and counts the shortfall here.
+    /// Always zero when every retract undoes exactly one prior fold.
+    pub retract_mismatch: u64,
 }
 
 impl SealedWindow {
@@ -153,6 +164,12 @@ pub struct IngestPlane {
     cfg: IngestConfig,
     lanes: Box<[Lane]>,
     overflow: Mutex<HashMap<u64, OverflowWindow>>,
+    /// Retractions against windows with no ledger state at all —
+    /// retract-after-seal. They cannot surface in any
+    /// [`SealedWindow::retract_mismatch`] (the window is gone), so they
+    /// accumulate here for [`orphaned_retracts`]
+    /// (IngestPlane::orphaned_retracts).
+    orphans: AtomicU64,
 }
 
 impl IngestPlane {
@@ -168,6 +185,7 @@ impl IngestPlane {
             .map(|_| Lane {
                 tag: AtomicU64::new(UNCLAIMED),
                 reports: AtomicU64::new(0),
+                mismatch: AtomicU64::new(0),
                 shards: (0..cfg.shards)
                     .map(|_| CachePadded(Shard::new(cfg.slots_per_shard)))
                     .collect(),
@@ -177,6 +195,7 @@ impl IngestPlane {
             cfg,
             lanes,
             overflow: Mutex::new(HashMap::new()),
+            orphans: AtomicU64::new(0),
         }
     }
 
@@ -204,58 +223,123 @@ impl IngestPlane {
     where
         I: IntoIterator<Item = (PathId, u64, u64)>,
     {
-        self.apply(window, entries, false)
-    }
-
-    /// Undoes a previous [`fold`](IngestPlane::fold) of the same report
-    /// — the distributed controller retracts everything an agent sent in
-    /// a window when that agent dies before its `WindowDone`, forfeiting
-    /// the partial window exactly like the report-map path did.
-    pub fn retract<I>(&self, window: u64, entries: I)
-    where
-        I: IntoIterator<Item = (PathId, u64, u64)>,
-    {
-        self.apply(window, entries, true)
-    }
-
-    fn apply<I>(&self, window: u64, entries: I, negate: bool)
-    where
-        I: IntoIterator<Item = (PathId, u64, u64)>,
-    {
         match self.claim_lane(window) {
             Some(lane) => {
-                if negate {
-                    lane.reports.fetch_sub(1, Ordering::Relaxed);
-                } else {
-                    lane.reports.fetch_add(1, Ordering::Relaxed);
-                }
+                lane.reports.fetch_add(1, Ordering::Relaxed);
                 for (path, sent, lost) in entries {
                     // detlint::allow(panic_path, reason = "shard_of is modulo cfg.shards, the lane's shard count")
                     let shard = &lane.shards[self.shard_of(path)].0;
-                    if !Self::apply_slot(shard, path, sent, lost, negate) {
+                    if !Self::fold_slot(shard, path, sent, lost) {
                         // Shard table full: this entry rides the slow
-                        // path. Find-only probing on retract guarantees
-                        // it lands wherever the fold put it.
-                        self.apply_overflow(window, path, sent, lost, negate, 0);
+                        // path.
+                        self.fold_overflow(window, path, sent, lost, 0);
                     }
                 }
             }
             None => {
                 // Lane owned by an older unsealed window: the whole
                 // report takes the slow path.
-                let delta = if negate { u64::MAX } else { 1 };
                 let mut entries = entries.into_iter();
                 match entries.next() {
                     Some((path, sent, lost)) => {
-                        self.apply_overflow(window, path, sent, lost, negate, delta);
+                        self.fold_overflow(window, path, sent, lost, 1);
                     }
-                    None => self.apply_overflow(window, PathId(0), 0, 0, negate, delta),
+                    None => self.fold_overflow(window, PathId(0), 0, 0, 1),
                 }
                 for (path, sent, lost) in entries {
-                    self.apply_overflow(window, path, sent, lost, negate, 0);
+                    self.fold_overflow(window, path, sent, lost, 0);
                 }
             }
         }
+    }
+
+    /// Undoes a previous [`fold`](IngestPlane::fold) of the same report
+    /// — the distributed controller retracts everything an agent sent in
+    /// a window when that agent dies before its `WindowDone`, forfeiting
+    /// the partial window exactly like the report-map path did.
+    ///
+    /// Retraction is *find-only* and *saturating*: it never claims a
+    /// lane (a retract against a sealed window must not resurrect its
+    /// ledger) and never subtracts below zero. An entry larger than what
+    /// the window's ledgers hold — a duplicate crash notification, a
+    /// retract-after-seal — removes what is there and counts the
+    /// shortfall in [`SealedWindow::retract_mismatch`] (or
+    /// [`orphaned_retracts`](IngestPlane::orphaned_retracts) when the
+    /// window has no ledger state left at all). A retract that undoes
+    /// exactly one prior un-sealed fold is always exact: counters land
+    /// where the fold put them, cascading from the lane's slots into the
+    /// overflow map when the fold's entries were split across both.
+    pub fn retract<I>(&self, window: u64, entries: I)
+    where
+        I: IntoIterator<Item = (PathId, u64, u64)>,
+    {
+        // detlint::allow(panic_path, reason = "index is window modulo the lane count, which is nonzero")
+        let lane = &self.lanes[(window % self.lanes.len() as u64) as usize];
+        let lane = (lane.tag.load(Ordering::Acquire) == window).then_some(lane);
+
+        // Un-count the report: prefer the lane's ledger, fall back to the
+        // overflow window's. Seal sums both, so either decrement keeps
+        // the window total exact.
+        if lane.is_none_or(|l| !sub_one_saturating(&l.reports)) {
+            let mut ov = self.overflow.lock();
+            match ov.get_mut(&window) {
+                Some(w) if w.reports > 0 => w.reports -= 1,
+                Some(w) => w.mismatch += 1,
+                None => match lane {
+                    Some(l) => {
+                        l.mismatch.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        self.orphans.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            }
+        }
+
+        for (path, sent, lost) in entries {
+            let (mut sent, mut lost) = (sent, lost);
+            if let Some(lane) = lane {
+                // detlint::allow(panic_path, reason = "shard_of is modulo cfg.shards, the lane's shard count")
+                let shard = &lane.shards[self.shard_of(path)].0;
+                (sent, lost) = Self::retract_slot(shard, path, sent, lost);
+            }
+            if sent == 0 && lost == 0 {
+                continue;
+            }
+            // Whatever the slots could not absorb cascades into the
+            // overflow ledger; a residual shortfall is a mismatch.
+            let mut ov = self.overflow.lock();
+            match ov.get_mut(&window) {
+                Some(w) => {
+                    if let Some(e) = w.paths.get_mut(&path) {
+                        let take = e.0.min(sent);
+                        e.0 -= take;
+                        sent -= take;
+                        let take = e.1.min(lost);
+                        e.1 -= take;
+                        lost -= take;
+                    }
+                    if sent > 0 || lost > 0 {
+                        w.mismatch += 1;
+                    }
+                }
+                None => match lane {
+                    Some(l) => {
+                        l.mismatch.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        self.orphans.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Retractions against windows with no ledger state at all (their
+    /// lane re-used or unclaimed and no overflow entry — in practice,
+    /// retract-after-seal). Monotone over the plane's lifetime.
+    pub fn orphaned_retracts(&self) -> u64 {
+        self.orphans.load(Ordering::Relaxed)
     }
 
     /// Drains window `window` into a sorted snapshot and resets its lane
@@ -284,10 +368,12 @@ impl IngestPlane {
                 }
             }
             out.reports = lane.reports.swap(0, Ordering::Relaxed);
+            out.retract_mismatch = lane.mismatch.swap(0, Ordering::Relaxed);
             lane.tag.store(UNCLAIMED, Ordering::Release);
         }
         if let Some(ov) = self.overflow.lock().remove(&window) {
-            out.reports = out.reports.wrapping_add(ov.reports);
+            out.reports += ov.reports;
+            out.retract_mismatch += ov.mismatch;
             for (path, (sent, lost)) in ov.paths {
                 if sent == 0 && lost == 0 {
                     continue;
@@ -297,6 +383,18 @@ impl IngestPlane {
             }
         }
         out.observations.sort_unstable_by_key(|o| o.path);
+        // A path whose counters were split across the lane's slots and
+        // the overflow map produced one row per ledger: coalesce them so
+        // the snapshot matches a single-ledger aggregation exactly.
+        out.observations.dedup_by(|dup, keep| {
+            if dup.path == keep.path {
+                keep.sent += dup.sent;
+                keep.lost += dup.lost;
+                true
+            } else {
+                false
+            }
+        });
         out
     }
 
@@ -327,17 +425,16 @@ impl IngestPlane {
         }
     }
 
-    /// Adds (or subtracts) into the shard's open-addressing table.
-    /// Returns `false` when the key is absent and the table is full (or,
-    /// on retract, when the key is simply absent).
-    fn apply_slot(shard: &Shard, path: PathId, sent: u64, lost: u64, negate: bool) -> bool {
+    /// Adds into the shard's open-addressing table. Returns `false` when
+    /// the key is absent and the table is full.
+    fn fold_slot(shard: &Shard, path: PathId, sent: u64, lost: u64) -> bool {
         let key = path.0 as u64 + 1;
         let mut i = (hash_path(path) >> 7) as usize & shard.mask;
         for _ in 0..shard.slots.len() {
             // detlint::allow(panic_path, reason = "i is masked by shard.mask = slots.len() - 1")
             let slot = &shard.slots[i];
             let mut k = slot.key.load(Ordering::Acquire);
-            if k == EMPTY && !negate {
+            if k == EMPTY {
                 match slot
                     .key
                     .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
@@ -350,47 +447,69 @@ impl IngestPlane {
                 }
             }
             if k == key {
-                if negate {
-                    slot.sent.fetch_sub(sent, Ordering::Relaxed);
-                    slot.lost.fetch_sub(lost, Ordering::Relaxed);
-                } else {
-                    slot.sent.fetch_add(sent, Ordering::Relaxed);
-                    slot.lost.fetch_add(lost, Ordering::Relaxed);
-                }
+                slot.sent.fetch_add(sent, Ordering::Relaxed);
+                slot.lost.fetch_add(lost, Ordering::Relaxed);
                 return true;
-            }
-            if k == EMPTY {
-                // Find-only probing (retract): key was never claimed
-                // here, so the fold must have overflowed it.
-                return false;
             }
             i = (i + 1) & shard.mask;
         }
         false
     }
 
-    fn apply_overflow(
-        &self,
-        window: u64,
-        path: PathId,
-        sent: u64,
-        lost: u64,
-        negate: bool,
-        report_delta: u64,
-    ) {
+    /// Subtracts as much of `(sent, lost)` from the path's slot as the
+    /// slot holds — find-only probing, saturating at zero — and returns
+    /// the shortfall still to be retracted elsewhere. A key that was
+    /// never claimed here (empty probe hit or full scan) means the fold
+    /// overflowed it: the full amount cascades.
+    fn retract_slot(shard: &Shard, path: PathId, sent: u64, lost: u64) -> (u64, u64) {
+        let key = path.0 as u64 + 1;
+        let mut i = (hash_path(path) >> 7) as usize & shard.mask;
+        for _ in 0..shard.slots.len() {
+            // detlint::allow(panic_path, reason = "i is masked by shard.mask = slots.len() - 1")
+            let slot = &shard.slots[i];
+            let k = slot.key.load(Ordering::Acquire);
+            if k == key {
+                return (
+                    sub_saturating(&slot.sent, sent),
+                    sub_saturating(&slot.lost, lost),
+                );
+            }
+            if k == EMPTY {
+                return (sent, lost);
+            }
+            i = (i + 1) & shard.mask;
+        }
+        (sent, lost)
+    }
+
+    fn fold_overflow(&self, window: u64, path: PathId, sent: u64, lost: u64, report_delta: u64) {
         let mut ov = self.overflow.lock();
         let w = ov.entry(window).or_default();
-        w.reports = w.reports.wrapping_add(report_delta);
+        w.reports += report_delta;
         if sent == 0 && lost == 0 {
             return;
         }
         let e = w.paths.entry(path).or_insert((0, 0));
-        if negate {
-            e.0 = e.0.wrapping_sub(sent);
-            e.1 = e.1.wrapping_sub(lost);
-        } else {
-            e.0 = e.0.wrapping_add(sent);
-            e.1 = e.1.wrapping_add(lost);
+        e.0 += sent;
+        e.1 += lost;
+    }
+}
+
+/// Decrements the counter unless it is already zero; returns whether a
+/// decrement happened.
+fn sub_one_saturating(counter: &AtomicU64) -> bool {
+    sub_saturating(counter, 1) == 0
+}
+
+/// Subtracts `min(counter, amount)` from the counter and returns the
+/// shortfall (`amount` minus what was actually subtracted). Never wraps.
+fn sub_saturating(counter: &AtomicU64, amount: u64) -> u64 {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let take = cur.min(amount);
+        match counter.compare_exchange_weak(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return amount - take,
+            Err(now) => cur = now,
         }
     }
 }
@@ -511,6 +630,81 @@ mod tests {
             s.observations,
             obs(&[(0, 10, 0), (1, 10, 1), (2, 10, 2), (3, 10, 3), (4, 10, 4)])
         );
+    }
+
+    #[test]
+    fn double_retract_saturates_and_counts_the_mismatch() {
+        let plane = IngestPlane::new(IngestConfig::default());
+        let r = vec![(PathId(3), 9, 2)];
+        plane.fold(0, r.clone());
+        plane.retract(0, r.clone());
+        // Duplicate crash notification: nothing left to subtract. The
+        // old wrapping_sub turned these counters into ~u64::MAX.
+        plane.retract(0, r);
+        let s = plane.seal(0);
+        assert_eq!(s.reports, 0);
+        assert!(s.observations.is_empty());
+        assert!(s.retract_mismatch > 0);
+        assert_eq!(plane.orphaned_retracts(), 0);
+    }
+
+    #[test]
+    fn retract_after_seal_is_orphaned_not_wrapped() {
+        let plane = IngestPlane::new(IngestConfig::default());
+        let r = vec![(PathId(6), 4, 1)];
+        plane.fold(0, r.clone());
+        assert_eq!(plane.seal(0).reports, 1);
+        plane.retract(0, r);
+        // The retract found no ledger: it must not claim the lane, must
+        // not seed negative counters, and is visible as an orphan.
+        assert_eq!(plane.orphaned_retracts(), 2); // 1 report + 1 entry
+        let s = plane.seal(0);
+        assert_eq!(s, SealedWindow::default());
+        // Later traffic through the same lane is unaffected.
+        plane.fold(8, vec![(PathId(6), 5, 0)]);
+        let s = plane.seal(8);
+        assert_eq!(s.observations, obs(&[(6, 5, 0)]));
+        assert_eq!(s.retract_mismatch, 0);
+    }
+
+    #[test]
+    fn retract_cascades_from_slots_into_overflow_exactly() {
+        // 1 shard x 2 slots: paths 2.. of each report overflow, so a
+        // retract must subtract from both ledgers to be exact.
+        let plane = IngestPlane::new(IngestConfig {
+            shards: 1,
+            slots_per_shard: 2,
+            ..IngestConfig::default()
+        });
+        let r: Vec<_> = (0..4u32).map(|p| (PathId(p), 6, 3)).collect();
+        plane.fold(0, r.clone());
+        plane.fold(0, r.clone());
+        plane.retract(0, r);
+        let s = plane.seal(0);
+        assert_eq!(s.reports, 1);
+        assert_eq!(s.retract_mismatch, 0);
+        assert_eq!(
+            s.observations,
+            obs(&[(0, 6, 3), (1, 6, 3), (2, 6, 3), (3, 6, 3)])
+        );
+    }
+
+    #[test]
+    fn seal_coalesces_a_path_split_across_both_ledgers() {
+        // lanes = 1: window 1's first report arrives while window 0
+        // still owns the lane (overflow), its second after window 0
+        // seals (lane slots). Same path, two ledgers, one row.
+        let plane = IngestPlane::new(IngestConfig {
+            lanes: 1,
+            ..IngestConfig::default()
+        });
+        plane.fold(0, vec![(PathId(1), 1, 0)]);
+        plane.fold(1, vec![(PathId(9), 10, 4)]);
+        plane.seal(0);
+        plane.fold(1, vec![(PathId(9), 5, 1)]);
+        let s = plane.seal(1);
+        assert_eq!(s.reports, 2);
+        assert_eq!(s.observations, obs(&[(9, 15, 5)]));
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct Prefiltered {
 /// [`crate::SealedWindow`] produces them) down to the paths that can
 /// influence PLL's verdict against `matrix`. `k` is the heavy-hitter
 /// tracker capacity.
+///
+/// The tracker is constructed fresh on every call: its state — counts,
+/// overestimates, saturation — is strictly per-window, so a heavy
+/// hitter in one window can never leak weight into the next window's
+/// offered set (see the window-boundary notes on [`SpaceSaving`]).
 pub fn prefilter(matrix: &ProbeMatrix, observations: &[PathObservation], k: usize) -> Prefiltered {
     let mut tracker = SpaceSaving::new(k);
     for o in observations {

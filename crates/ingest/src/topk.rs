@@ -18,6 +18,20 @@
 //! offer sequence always produces the same tracked set — the ingest
 //! plane feeds offers in sorted path order precisely so the per-window
 //! `topk_hits` statistic is reproducible across schedulers.
+//!
+//! # Window boundaries
+//!
+//! A tracker's lifetime is **one sealed window**: [`crate::prefilter`]
+//! constructs a fresh `SpaceSaving` per call and the diagnoser calls it
+//! once per window, so counts, overestimates and the saturation flag
+//! never accumulate across windows. That per-window reset is what the
+//! pre-filter's exactness argument rests on — an unsaturated tracker
+//! holds *exactly this window's* distinct lossy paths, and a heavy
+//! hitter from window *w* contributes nothing to window *w + 1*'s
+//! offered set (`topk_window_state_never_leaks_across_windows` in
+//! `tests/properties.rs` pins this). Carrying one tracker across
+//! windows would instead inflate `min_count` with stale weight and
+//! silently mis-report `topk_hits`.
 
 use std::collections::HashMap;
 

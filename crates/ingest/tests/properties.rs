@@ -154,4 +154,78 @@ proptest! {
             prop_assert_eq!(sealed.observations, expect, "window {}", window);
         }
     }
+
+    /// Window isolation of the top-K pre-filter: with folds for windows
+    /// w and w+1 interleaved through the plane, each sealed window's
+    /// pre-filter — kept set *and* `topk_hits` — equals the pre-filter
+    /// of that window's naive totals alone. A heavy hitter offered in
+    /// window w contributes nothing to window w+1's offered set: a path
+    /// lossy only in w never appears in w+1's kept observations.
+    #[test]
+    fn topk_window_state_never_leaks_across_windows(
+        link_sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..24, 1..5), 1..20),
+        folds in proptest::collection::vec(
+            (0u64..2, proptest::collection::vec((0u32..20, 1u64..100, 0u64..100), 1..6)),
+            0..20),
+        k in 1usize..8,
+    ) {
+        let matrix = matrix_from(&link_sets);
+        let plane = IngestPlane::new(IngestConfig {
+            shards: 2,
+            slots_per_shard: 8,
+            lanes: 2,
+            topk: k,
+        });
+        let mut naive: HashMap<u64, HashMap<u32, (u64, u64)>> = HashMap::new();
+        for (window, entries) in &folds {
+            let entries: Vec<(PathId, u64, u64)> = entries
+                .iter()
+                .map(|&(p, s, l)| (PathId(p), s, l.min(s)))
+                .collect();
+            plane.fold(*window, entries.iter().copied());
+            let w = naive.entry(*window).or_default();
+            for (p, s, l) in &entries {
+                let e = w.entry(p.0).or_default();
+                e.0 += s;
+                e.1 += l;
+            }
+        }
+        for window in 0..2u64 {
+            let sealed = plane.seal(window);
+            let mut expect: Vec<PathObservation> = naive
+                .remove(&window)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(p, (s, l))| PathObservation::new(PathId(p), s, l))
+                .collect();
+            expect.sort_unstable_by_key(|o| o.path);
+            let from_plane = prefilter(&matrix, &sealed.observations, k);
+            let from_naive = prefilter(&matrix, &expect, k);
+            prop_assert_eq!(
+                &from_plane.observations,
+                &from_naive.observations,
+                "window {}'s kept set must come from its own folds only",
+                window
+            );
+            prop_assert_eq!(
+                from_plane.topk_hits,
+                from_naive.topk_hits,
+                "window {}'s tracker must start fresh",
+                window
+            );
+            // Explicitly: nothing from the other window's fold stream
+            // crosses the boundary.
+            let own: std::collections::HashSet<u32> =
+                expect.iter().map(|o| o.path.0).collect();
+            for o in &from_plane.observations {
+                prop_assert!(
+                    own.contains(&o.path.0),
+                    "path {} leaked into window {}",
+                    o.path.0,
+                    window
+                );
+            }
+        }
+    }
 }

@@ -22,6 +22,7 @@ use crate::{Check, Diagnostic, FileCtx};
 /// code (controller, planner) re-plans between windows and reports
 /// typed `PmcError`s already.
 const SCOPE: &[&str] = &[
+    "crates/core/src/pll/components.rs",
     "crates/ingest/src/plane.rs",
     "crates/system/src/scheduler.rs",
     "crates/system/src/pinger.rs",
@@ -97,12 +98,16 @@ pub fn run(ctx: &FileCtx) -> Vec<Diagnostic> {
 
 /// A `[` directly after one of these tokens is an index expression (an
 /// array literal, attribute, or slice type follows `=`, `#`, `:`, `&`,
-/// `(`, `,`, `<`, `!`, ... instead).
+/// `(`, `,`, `<`, `!`, ... instead). Keywords are never index bases:
+/// `mut [u32]` in a signature and `return [a, b]` start a slice type or
+/// array literal, not an indexing.
 fn is_index_base(prev: &TokKind) -> bool {
-    matches!(
-        prev,
-        TokKind::Ident(_) | TokKind::Punct(']') | TokKind::Punct(')')
-    )
+    const KEYWORDS: &[&str] = &["mut", "dyn", "in", "return", "else", "break", "const"];
+    match prev {
+        TokKind::Ident(id) => !KEYWORDS.contains(&id.as_str()),
+        TokKind::Punct(']') | TokKind::Punct(')') => true,
+        _ => false,
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +159,18 @@ mod tests {
         // Only `x[0]` is an index expression.
         let d = lint(src);
         assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn keywords_before_brackets_are_not_index_bases() {
+        let src = "
+            fn f(parent: &mut [u32]) -> [u8; 2] {
+                let _s: &dyn std::any::Any = &1u8;
+                for _x in [1, 2] {}
+                return [0, 1];
+            }
+        ";
+        assert!(lint(src).is_empty());
     }
 
     #[test]

@@ -18,15 +18,47 @@
 //! the unfiltered window.
 
 use detector_core::pll::{
-    classify_loss, localize, ClassifyConfig, Diagnosis, FlowSample, IncrementalPll,
-    LossClassification, PllConfig,
+    classify_loss, localize, lossy_components, ClassifyConfig, ComponentJob, ComponentPlan,
+    ComponentPll, ComponentVerdict, Diagnosis, FlowSample, IncrementalPll, LossClassification,
+    PllConfig,
 };
-use detector_core::pmc::ProbeMatrix;
+use detector_core::pmc::{JobPool, ProbeMatrix};
 use detector_core::types::{LinkId, PathObservation};
 use detector_ingest::{prefilter, IngestPlane};
+use serde::{Deserialize, Serialize};
 
 use crate::report::{PingerReport, ReportStore};
 use crate::watchdog::Watchdog;
+
+/// Configuration of the diagnosis stage itself (as opposed to the PLL
+/// algorithm it runs, [`PllConfig`]).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DiagConfig {
+    /// Worker threads for component-parallel PLL. `1` (the default)
+    /// localizes sequentially; `> 1` partitions each window's lossy
+    /// observations into connected components of the path/link incidence
+    /// and solves them concurrently on a scoped pool, merging suspects
+    /// back into the exact sequential order ([`ComponentPll`]). Results
+    /// and the event stream are bit-identical either way — the knob
+    /// trades threads for multi-failure diagnosis latency.
+    pub parallel_components: usize,
+}
+
+impl Default for DiagConfig {
+    fn default() -> Self {
+        Self {
+            parallel_components: 1,
+        }
+    }
+}
+
+impl DiagConfig {
+    /// Overrides the component-parallel worker count.
+    pub fn with_parallel_components(mut self, workers: usize) -> Self {
+        self.parallel_components = workers.max(1);
+        self
+    }
+}
 
 /// One diagnosis produced at the end of a window.
 #[derive(Clone, Debug)]
@@ -45,15 +77,69 @@ pub struct DiagnosisEvent {
     pub topk_hits: u64,
     /// Shard key-claim CAS retries while the window accumulated.
     pub shard_contention: u64,
+    /// Retractions the ingest plane could not absorb (see
+    /// [`RuntimeEvent::IngestStats`](crate::RuntimeEvent::IngestStats)).
+    pub retract_mismatch: u64,
+    /// Observed paths with losses above the noise filters — computed on
+    /// the post-exclusion window, so identical across drivers.
+    pub lossy_paths: u64,
+    /// Connected components of the lossy path/link incidence: the
+    /// fan-out width component-parallel PLL would use this window.
+    pub components: u64,
+}
+
+/// The in-flight state of a window whose diagnosis fanned out into
+/// [`ComponentJob`]s: everything of the eventual [`DiagnosisEvent`]
+/// except the verdict itself. Opaque; hand it back to
+/// [`Diagnoser::diagnose_complete`] with the jobs' verdicts.
+#[derive(Clone, Debug)]
+pub struct PendingDiagnosis {
+    window: u64,
+    num_observations: usize,
+    reports: u64,
+    topk_hits: u64,
+    shard_contention: u64,
+    retract_mismatch: u64,
+    lossy_paths: u64,
+    components: u64,
+}
+
+impl PendingDiagnosis {
+    fn finish(self, diagnosis: Diagnosis) -> DiagnosisEvent {
+        DiagnosisEvent {
+            window: self.window,
+            num_observations: self.num_observations,
+            diagnosis,
+            reports: self.reports,
+            topk_hits: self.topk_hits,
+            shard_contention: self.shard_contention,
+            retract_mismatch: self.retract_mismatch,
+            lossy_paths: self.lossy_paths,
+            components: self.components,
+        }
+    }
+}
+
+/// What [`Diagnoser::diagnose_prepare`] decided about the window.
+#[derive(Debug)]
+pub enum DiagStep {
+    /// The window's diagnosis is final — no fan-out happened.
+    Done(DiagnosisEvent),
+    /// Component-parallel fan-out: execute every job (any threads, any
+    /// order) and pass the verdicts to
+    /// [`Diagnoser::diagnose_complete`] with the pending state.
+    Fanout(PendingDiagnosis, Vec<ComponentJob>),
 }
 
 /// The diagnoser service.
 pub struct Diagnoser {
     matrix: ProbeMatrix,
     pll: PllConfig,
+    diag: DiagConfig,
     store: ReportStore,
     plane: IngestPlane,
     incremental: IncrementalPll,
+    parallel: ComponentPll,
 }
 
 impl Diagnoser {
@@ -63,10 +149,18 @@ impl Diagnoser {
         Self {
             matrix,
             pll,
+            diag: DiagConfig::default(),
             store: ReportStore::new(),
             plane,
             incremental: IncrementalPll::new(),
+            parallel: ComponentPll::new(),
         }
+    }
+
+    /// Sets the diagnosis-stage configuration (builder style).
+    pub fn with_diag(mut self, diag: DiagConfig) -> Self {
+        self.diag = diag;
+        self
     }
 
     /// The probe matrix in force.
@@ -86,6 +180,7 @@ impl Diagnoser {
             self.plane = IngestPlane::for_paths(matrix.num_paths());
         }
         self.incremental.invalidate();
+        self.parallel.invalidate();
         self.matrix = matrix;
     }
 
@@ -136,8 +231,32 @@ impl Diagnoser {
     /// pingers' stored contributions from the snapshot (the plane folds
     /// reports as they arrive, before health verdicts settle). The
     /// result is exactly `localize` over
-    /// [`observations`](Diagnoser::observations).
+    /// [`observations`](Diagnoser::observations) — including under
+    /// component-parallel fan-out (`DiagConfig::parallel_components > 1`),
+    /// which runs the per-component jobs on an internal [`JobPool`].
     pub fn diagnose(&mut self, window: u64, watchdog: &Watchdog) -> DiagnosisEvent {
+        match self.diagnose_prepare(window, watchdog) {
+            DiagStep::Done(ev) => ev,
+            DiagStep::Fanout(pending, jobs) => {
+                let verdicts =
+                    JobPool::clamped(self.diag.parallel_components).run_indexed(jobs.len(), |i| {
+                        jobs.get(i)
+                            .map(ComponentJob::run)
+                            .unwrap_or_else(ComponentVerdict::empty)
+                    });
+                self.diagnose_complete(pending, verdicts)
+            }
+        }
+    }
+
+    /// Phase 1 of a window's diagnosis: seals the snapshot, applies
+    /// exclusions, and either finishes outright ([`DiagStep::Done`] — the
+    /// sequential localizer branches, a cached verdict, or an all-healthy
+    /// window) or hands back the window's per-component PLL jobs for the
+    /// caller to execute on threads of its choosing (the pipelined
+    /// scheduler ships them to its probe workers). Every job's verdict
+    /// must then go to [`diagnose_complete`](Diagnoser::diagnose_complete).
+    pub fn diagnose_prepare(&mut self, window: u64, watchdog: &Watchdog) -> DiagStep {
         let sealed = self.plane.seal(window);
         let mut obs = sealed.observations;
         let mut reports = sealed.reports;
@@ -159,10 +278,26 @@ impl Diagnoser {
         }
 
         let num_observations = obs.len();
+        // The shape of the window's diagnosis work, for `DiagStats`: a
+        // pure function of the post-exclusion observations, so every
+        // driver reports the same numbers regardless of which localizer
+        // branch runs below.
+        let (lossy_paths, components) = lossy_components(&self.matrix, &obs, &self.pll);
         let k = self.plane.config().topk;
-        let (diagnosis, topk_hits) = if self.pll.incremental {
-            // The incremental localizer keys its skeleton on the whole
-            // observed id set, so it consumes the unfiltered snapshot;
+        let workers = self.diag.parallel_components;
+        let pending = PendingDiagnosis {
+            window,
+            num_observations,
+            reports,
+            topk_hits: 0,
+            shard_contention: sealed.shard_contention,
+            retract_mismatch: sealed.retract_mismatch,
+            lossy_paths,
+            components,
+        };
+        if self.pll.incremental {
+            // The incremental localizers key their skeleton on the whole
+            // observed id set, so they consume the unfiltered snapshot;
             // the tracker statistic is computed the same way the
             // pre-filter would.
             let distinct_lossy = obs.iter().filter(|o| o.is_lossy()).count() as u64;
@@ -171,25 +306,49 @@ impl Diagnoser {
             } else {
                 distinct_lossy
             };
-            (
-                self.incremental.localize(&self.matrix, &obs, &self.pll),
-                hits,
-            )
+            let pending = PendingDiagnosis {
+                topk_hits: hits,
+                ..pending
+            };
+            if workers > 1 {
+                match self.parallel.prepare(&self.matrix, &obs, &self.pll) {
+                    ComponentPlan::Ready(d) => DiagStep::Done(pending.finish(d)),
+                    ComponentPlan::Fanout(jobs) => DiagStep::Fanout(pending, jobs),
+                }
+            } else {
+                let d = self.incremental.localize(&self.matrix, &obs, &self.pll);
+                DiagStep::Done(pending.finish(d))
+            }
         } else {
             let f = prefilter(&self.matrix, &obs, k);
-            (
-                localize(&self.matrix, &f.observations, &self.pll),
-                f.topk_hits,
-            )
-        };
-        DiagnosisEvent {
-            window,
-            num_observations,
-            diagnosis,
-            reports,
-            topk_hits,
-            shard_contention: sealed.shard_contention,
+            let pending = PendingDiagnosis {
+                topk_hits: f.topk_hits,
+                ..pending
+            };
+            if workers > 1 {
+                match self
+                    .parallel
+                    .prepare(&self.matrix, &f.observations, &self.pll)
+                {
+                    ComponentPlan::Ready(d) => DiagStep::Done(pending.finish(d)),
+                    ComponentPlan::Fanout(jobs) => DiagStep::Fanout(pending, jobs),
+                }
+            } else {
+                let d = localize(&self.matrix, &f.observations, &self.pll);
+                DiagStep::Done(pending.finish(d))
+            }
         }
+    }
+
+    /// Phase 2 of [`diagnose_prepare`](Diagnoser::diagnose_prepare):
+    /// merges the fan-out's [`ComponentVerdict`]s (any order) into the
+    /// window's final event.
+    pub fn diagnose_complete(
+        &mut self,
+        pending: PendingDiagnosis,
+        verdicts: Vec<ComponentVerdict>,
+    ) -> DiagnosisEvent {
+        pending.finish(self.parallel.complete(verdicts))
     }
 
     /// Prunes stored reports older than `keep_from`.

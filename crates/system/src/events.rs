@@ -123,6 +123,30 @@ pub enum RuntimeEvent {
         /// under single-threaded folding), so
         /// [`normalized`](RuntimeEvent::normalized) zeroes it.
         shard_contention: u64,
+        /// Retractions the ingest plane could not absorb this window —
+        /// `detector_ingest::SealedWindow::retract_mismatch`. Non-zero
+        /// means a duplicate crash notification or a retract racing a
+        /// seal; always zero in a healthy run.
+        retract_mismatch: u64,
+    },
+    /// Shape of the diagnosis work for the window: how many lossy paths
+    /// survived ingestion and how many connected components of the
+    /// lossy-path/link incidence they split into — the fan-out width of
+    /// component-parallel PLL (`DiagConfig::parallel_components`).
+    /// Deterministic (a pure function of the sealed window and the probe
+    /// plan), so equivalence harnesses compare it un-normalized. Emitted
+    /// after [`IngestStats`](RuntimeEvent::IngestStats), before
+    /// [`DiagnosisReady`](RuntimeEvent::DiagnosisReady).
+    DiagStats {
+        /// Window index.
+        window: u64,
+        /// Observed paths with losses above the noise filters.
+        lossy_paths: u64,
+        /// Connected components of the lossy incidence — independent PLL
+        /// subproblems. Zero for an all-healthy window.
+        components: u64,
+        /// Suspect links in the window's diagnosis.
+        suspects: u64,
     },
     /// The diagnoser ran PLL over the window's aggregated observations.
     /// Always the last event of a window.
@@ -195,6 +219,7 @@ impl ToJson for RuntimeEvent {
                 paths_active,
                 topk_hits,
                 shard_contention,
+                retract_mismatch,
             } => Json::obj(vec![
                 ("event", Json::Str("ingest_stats".into())),
                 ("window", Json::uint(*window)),
@@ -202,6 +227,19 @@ impl ToJson for RuntimeEvent {
                 ("paths_active", Json::uint(*paths_active)),
                 ("topk_hits", Json::uint(*topk_hits)),
                 ("shard_contention", Json::uint(*shard_contention)),
+                ("retract_mismatch", Json::uint(*retract_mismatch)),
+            ]),
+            RuntimeEvent::DiagStats {
+                window,
+                lossy_paths,
+                components,
+                suspects,
+            } => Json::obj(vec![
+                ("event", Json::Str("diag_stats".into())),
+                ("window", Json::uint(*window)),
+                ("lossy_paths", Json::uint(*lossy_paths)),
+                ("components", Json::uint(*components)),
+                ("suspects", Json::uint(*suspects)),
             ]),
             RuntimeEvent::DiagnosisReady(result) => {
                 let mut fields = vec![("event".to_string(), Json::Str("diagnosis_ready".into()))];
@@ -247,6 +285,7 @@ impl RuntimeEvent {
                 reports,
                 paths_active,
                 topk_hits,
+                retract_mismatch,
                 ..
             } => RuntimeEvent::IngestStats {
                 window: *window,
@@ -256,6 +295,9 @@ impl RuntimeEvent {
                 // CAS retries depend on thread interleaving, never on
                 // what was ingested.
                 shard_contention: 0,
+                // Retract accounting is deterministic — the harnesses
+                // compare it un-normalized.
+                retract_mismatch: *retract_mismatch,
             },
             RuntimeEvent::PlanUpdated {
                 epoch,
@@ -311,6 +353,13 @@ impl RuntimeEvent {
                 paths_active: v.get("paths_active")?.as_u64()?,
                 topk_hits: v.get("topk_hits")?.as_u64()?,
                 shard_contention: v.get("shard_contention")?.as_u64()?,
+                retract_mismatch: v.get("retract_mismatch")?.as_u64()?,
+            }),
+            "diag_stats" => Some(RuntimeEvent::DiagStats {
+                window: window()?,
+                lossy_paths: v.get("lossy_paths")?.as_u64()?,
+                components: v.get("components")?.as_u64()?,
+                suspects: v.get("suspects")?.as_u64()?,
             }),
             "diagnosis_ready" => Some(RuntimeEvent::DiagnosisReady(WindowResult::from_json(v)?)),
             "plan_updated" => Some(RuntimeEvent::PlanUpdated {
@@ -492,6 +541,13 @@ mod tests {
                 paths_active: 230,
                 topk_hits: 3,
                 shard_contention: 9,
+                retract_mismatch: 1,
+            },
+            RuntimeEvent::DiagStats {
+                window: 5,
+                lossy_paths: 12,
+                components: 3,
+                suspects: 4,
             },
             RuntimeEvent::DiagnosisReady(sample_result()),
             RuntimeEvent::PlanUpdated {

@@ -81,7 +81,7 @@ use std::fmt;
 pub use clock::SimClock;
 pub use controller::{Controller, Deployment, PlanUpdate};
 pub use dataplane::{DataPlane, ProbeOutcome};
-pub use diagnoser::{Diagnoser, DiagnosisEvent};
+pub use diagnoser::{DiagConfig, DiagStep, Diagnoser, DiagnosisEvent, PendingDiagnosis};
 pub use dispatch::{DeploymentDiff, DispatchStats, ListUpdate};
 pub use events::{CollectingSink, EventSink, JsonLinesSink, RuntimeEvent, WindowResult};
 pub use pinger::{batch_seed, Pinger, PingerBatch, PingerCostModel};
@@ -130,6 +130,10 @@ pub struct SystemConfig {
     pub pmc: PmcConfig,
     /// Loss-localization settings.
     pub pll: PllConfig,
+    /// Diagnosis-stage settings (component-parallel PLL fan-out); see
+    /// [`DiagConfig`]. Orthogonal to `pll`: the algorithm is configured
+    /// there, how the stage executes it here.
+    pub diag: DiagConfig,
     /// Headroom policy for the probe plan's per-cell `PathId` ranges:
     /// how much id slack each plan cell reserves so churn re-solves stay
     /// inside their range (no re-dispatch of other cells' pinglists).
@@ -172,6 +176,7 @@ impl Default for SystemConfig {
                 min_loss_count: 2,
                 ..PllConfig::default()
             },
+            diag: DiagConfig::default(),
             id_headroom: IdHeadroom::default(),
             cell_affinity: false,
         }
@@ -196,6 +201,13 @@ impl SystemConfig {
     /// `pingers_per_tor > 2`.
     pub fn with_cell_affinity(mut self, on: bool) -> Self {
         self.cell_affinity = on;
+        self
+    }
+
+    /// Sets the component-parallel diagnosis worker count (see
+    /// [`DiagConfig::parallel_components`]).
+    pub fn with_parallel_diagnosis(mut self, workers: usize) -> Self {
+        self.diag = self.diag.with_parallel_components(workers);
         self
     }
 

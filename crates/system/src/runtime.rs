@@ -114,7 +114,8 @@ impl DetectorBuilder {
         }
         let watchdog = Watchdog::new();
         let deployment = controller.build_deployment(watchdog.unhealthy_set())?;
-        let diagnoser = Diagnoser::new(deployment.matrix.clone(), self.cfg.pll);
+        let diagnoser =
+            Diagnoser::new(deployment.matrix.clone(), self.cfg.pll).with_diag(self.cfg.diag);
         Ok(Detector {
             topo: self.topo,
             cfg: self.cfg,
@@ -418,6 +419,16 @@ impl Detector {
                 paths_active: event.num_observations as u64,
                 topk_hits: event.topk_hits,
                 shard_contention: event.shard_contention,
+                retract_mismatch: event.retract_mismatch,
+            },
+            &mut self.sinks,
+        );
+        emit(
+            RuntimeEvent::DiagStats {
+                window,
+                lossy_paths: event.lossy_paths,
+                components: event.components,
+                suspects: event.diagnosis.suspects.len() as u64,
             },
             &mut self.sinks,
         );

@@ -10,15 +10,21 @@
 //! the paper-faithful variant's accuracy floor so the default
 //! configuration can never silently regress.
 //!
+//! The sweep honours `DETECTOR_BENCH_SCALE`: the default `quick` runs
+//! Fattree(8) + VL2(8,6); `paper` runs the paper's Table 4 sizes —
+//! Fattree(18) and VL2(20,12) — which is the regime the ROADMAP's
+//! "re-evaluate consistency-first at paper sizes" item asks for.
+//!
 //! The sweep is `#[ignore]`d (minutes of episodes); the CI smoke job
-//! runs it in release mode next to the scheduler soak:
+//! runs it in release mode next to the scheduler soak, at both scales:
 //!
 //! ```text
 //! cargo test --release --test accuracy_table4 -- --ignored
+//! DETECTOR_BENCH_SCALE=paper cargo test --release --test accuracy_table4 -- --ignored
 //! ```
 
 use detector::prelude::*;
-use detector_bench::{bench_pll, episode_metrics, pct, Table};
+use detector_bench::{bench_pll, episode_metrics, pct, Scale, Table};
 
 /// Micro-averaged noiseless campaign: `episodes` random scenarios with
 /// `n_failures` simultaneous link failures each, probed on a quiet
@@ -56,12 +62,21 @@ fn table4_noiseless_score_first_vs_consistency_first() {
     // > 90 %); beyond β the guarantee degrades gracefully, so the floor
     // steps down the way the paper's multi-failure columns do.
     let failures: [(usize, f64); 3] = [(1, 0.95), (3, 0.85), (5, 0.75)];
-    let episodes = 12;
+    // Paper scale runs Table 4's sizes with fewer episodes per cell —
+    // the per-episode probe volume is ~20× quick's, and the verdict
+    // question (does consistency-first hold accuracy while cutting
+    // false positives?) is about the regime, not the sample count.
+    let scale = Scale::from_env();
+    let (ft_radix, vl_params, episodes) = match scale {
+        Scale::Quick => (8u32, (8u32, 6u32, 2u32), 12usize),
+        Scale::Paper => (18, (20, 12, 2), 6),
+    };
 
     let topos: Vec<(String, Box<dyn DcnTopology + Sync>, ProbeMatrix)> = {
-        let ft = Fattree::new(8).unwrap();
+        let ft = Fattree::new(ft_radix).unwrap();
         let ft_matrix = construct_symmetric(&ft, &PmcConfig::identifiable(1)).unwrap();
-        let vl = Vl2::new(8, 6, 2).unwrap();
+        let (da, di, srv) = vl_params;
+        let vl = Vl2::new(da, di, srv).unwrap();
         let vl_matrix = construct(
             vl.probe_links(),
             vl.enumerate_candidates(),
@@ -69,8 +84,8 @@ fn table4_noiseless_score_first_vs_consistency_first() {
         )
         .unwrap();
         vec![
-            ("Fattree(8)".into(), Box::new(ft), ft_matrix),
-            ("VL2(8,6)".into(), Box::new(vl), vl_matrix),
+            (format!("Fattree({ft_radix})"), Box::new(ft), ft_matrix),
+            (format!("VL2({da},{di})"), Box::new(vl), vl_matrix),
         ]
     };
 
@@ -122,9 +137,12 @@ fn table4_noiseless_score_first_vs_consistency_first() {
             );
         }
     }
-    println!("\nTable 4 sweep (noiseless, 30 probes/path, {episodes} episodes/cell):");
+    println!(
+        "\nTable 4 sweep ({scale:?} scale, noiseless, 30 probes/path, \
+         {episodes} episodes/cell):"
+    );
     table.print();
     println!("\nROADMAP verdict input: adopt consistency-first only if it holds");
-    println!("accuracy while cutting false positives; re-run with");
-    println!("DETECTOR_BENCH_SCALE=paper sizes before changing the default.");
+    println!("accuracy while cutting false positives at both scales (the paper");
+    println!("regime is DETECTOR_BENCH_SCALE=paper: Fattree(18) + VL2(20,12)).");
 }

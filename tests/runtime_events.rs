@@ -23,6 +23,7 @@ fn kind(e: &RuntimeEvent) -> &'static str {
         RuntimeEvent::PingerUnhealthy { .. } => "unhealthy",
         RuntimeEvent::ReportIngested { .. } => "report",
         RuntimeEvent::IngestStats { .. } => "ingest",
+        RuntimeEvent::DiagStats { .. } => "diag",
         RuntimeEvent::DiagnosisReady(_) => "ready",
         RuntimeEvent::PlanUpdated { .. } => "plan",
     }
@@ -34,7 +35,8 @@ fn window_of(e: &RuntimeEvent) -> u64 {
         | RuntimeEvent::CycleRefreshed { window, .. }
         | RuntimeEvent::PingerUnhealthy { window, .. }
         | RuntimeEvent::ReportIngested { window, .. }
-        | RuntimeEvent::IngestStats { window, .. } => *window,
+        | RuntimeEvent::IngestStats { window, .. }
+        | RuntimeEvent::DiagStats { window, .. } => *window,
         RuntimeEvent::DiagnosisReady(w) => w.window,
         // Plan updates happen between windows, never inside a step().
         RuntimeEvent::PlanUpdated { .. } => u64::MAX,

@@ -39,6 +39,17 @@ fn incremental_config() -> SystemConfig {
     cfg
 }
 
+/// The short-cycle config with component-parallel diagnosis.
+fn parallel_config(workers: usize) -> SystemConfig {
+    config().with_parallel_diagnosis(workers)
+}
+
+/// Component-parallel diagnosis composed with the incremental
+/// skeleton cache.
+fn parallel_incremental_config(workers: usize) -> SystemConfig {
+    incremental_config().with_parallel_diagnosis(workers)
+}
+
 fn detector_with(ft: &Arc<Fattree>, sink: CollectingSink, cfg: SystemConfig) -> Detector {
     Detector::builder(ft.clone() as SharedTopology)
         .config(cfg)
@@ -228,6 +239,93 @@ fn check_incremental_equivalence(
     );
 }
 
+/// Runs the same scenario with the sequential single-threaded oracle and
+/// with component-parallel diagnosis in both drivers — plus the
+/// parallel × incremental composition — asserting bit-identical window
+/// results and (normalized) event streams throughout.
+fn check_parallel_equivalence(
+    ft: Arc<Fattree>,
+    failures: &[(u16, u8, u8)],
+    raw_script: &[(u8, u8, u16)],
+    windows: u64,
+    seed: u64,
+    pipeline: &PipelineConfig,
+    workers: usize,
+) {
+    let mut fabric = Fabric::new(ft.as_ref(), seed ^ 0xFAB);
+    for &(link, kind, level) in failures {
+        let (l, d) = decode_failure(&ft, link, kind, level);
+        fabric.set_discipline_both(l, d);
+    }
+    let script = raw_script
+        .iter()
+        .fold(Script::new(), |s, &(window, kind, target)| {
+            s.at(
+                u64::from(window) % windows,
+                decode_action(&ft, kind, target),
+            )
+        });
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = detector(&ft, seq_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let seq_results = seq
+        .run_scripted(&fabric, windows, &script, &mut rng)
+        .expect("sequential oracle");
+    let oracle_events = normalize(seq_sink.events());
+
+    let par_sink = CollectingSink::new();
+    let mut par = detector_with(&ft, par_sink.clone(), parallel_config(workers));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let par_results = par
+        .run_scripted(&fabric, windows, &script, &mut rng)
+        .expect("parallel sequential run");
+    assert_eq!(
+        seq_results, par_results,
+        "parallel step() diverges from the sequential oracle \
+         (script {raw_script:?}, failures {failures:?}, workers {workers})"
+    );
+    assert_eq!(
+        oracle_events,
+        normalize(par_sink.events()),
+        "parallel step() event stream diverges (workers {workers})"
+    );
+
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = detector_with(&ft, pipe_sink.clone(), parallel_config(workers));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pipe_results = pipe
+        .run_pipelined(&fabric, windows, &script, pipeline, &mut rng)
+        .expect("parallel pipelined run");
+    assert_eq!(
+        seq_results, pipe_results,
+        "parallel pipelined diverges from the sequential oracle \
+         (script {raw_script:?}, failures {failures:?}, workers {workers})"
+    );
+    assert_eq!(
+        oracle_events,
+        normalize(pipe_sink.events()),
+        "parallel pipelined event stream diverges (workers {workers})"
+    );
+
+    let both_sink = CollectingSink::new();
+    let mut both = detector_with(&ft, both_sink.clone(), parallel_incremental_config(workers));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let both_results = both
+        .run_scripted(&fabric, windows, &script, &mut rng)
+        .expect("parallel incremental run");
+    assert_eq!(
+        seq_results, both_results,
+        "parallel × incremental diverges from the sequential oracle \
+         (script {raw_script:?}, failures {failures:?}, workers {workers})"
+    );
+    assert_eq!(
+        oracle_events,
+        normalize(both_sink.events()),
+        "parallel × incremental event stream diverges (workers {workers})"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -268,6 +366,31 @@ proptest! {
         let ft = Arc::new(Fattree::new(4).unwrap());
         let pipeline = PipelineConfig { probe_workers: workers, depth: 2 };
         check_incremental_equivalence(ft, &failures, &raw_script, 5, seed, &pipeline);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Component-parallel ≡ sequential: with `parallel_components > 1`
+    /// the fanned-out per-component PLL produces exactly the
+    /// single-threaded diagnosis — results and event streams — in both
+    /// drivers and composed with the incremental skeleton cache, under
+    /// loss × churn × cycle refresh. Random churn splits and merges the
+    /// lossy component structure mid-run (drains and link flaps move
+    /// paths between islands); the targeted
+    /// `component_merge_and_split_stays_equivalent` below pins a
+    /// deterministic 2 → 1 → 2 transition.
+    #[test]
+    fn parallel_diagnosis_equals_sequential(
+        failures in proptest::collection::vec((0u16..64, 0u8..3, 0u8..8), 0..4),
+        raw_script in proptest::collection::vec((0u8..6, 0u8..6, 0u16..64), 0..6),
+        seed in 0u64..1_000,
+        workers in 2usize..5,
+    ) {
+        let ft = Arc::new(Fattree::new(4).unwrap());
+        let pipeline = PipelineConfig { probe_workers: 2, depth: 2 };
+        check_parallel_equivalence(ft, &failures, &raw_script, 5, seed, &pipeline, workers);
     }
 }
 
@@ -511,4 +634,139 @@ fn unhealthy_pinger_is_skipped_identically() {
     // refreshed deployment drops the unhealthy server from pinger duty
     // entirely — no event, it simply is not dispatched.
     assert_eq!(seq_unhealthy, vec![(1, victim)]);
+}
+
+/// Extracts each window's `DiagStats` as `(window, lossy_paths,
+/// components, suspects)`.
+fn diag_stats(events: Vec<RuntimeEvent>) -> Vec<(u64, u64, u64, u64)> {
+    events
+        .into_iter()
+        .filter_map(|e| match e {
+            RuntimeEvent::DiagStats {
+                window,
+                lossy_paths,
+                components,
+                suspects,
+            } => Some((window, lossy_paths, components, suspects)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn component_merge_and_split_stays_equivalent() {
+    // Two same-pod edge–agg failures sit in disjoint lossy components
+    // (no observed path crosses both). Draining agg(0,0) at window 1
+    // removes ea(0,0,0) from the plan — its island vanishes and the
+    // window collapses to one component — and the undrain at window 3
+    // brings the bridge links back up, splitting the structure into two
+    // components again. Both transitions land mid-run on plan-epoch
+    // changes, so the cached per-component skeleton must rebuild (a
+    // stale partition would fan out the wrong islands and diverge from
+    // the oracle).
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let failures: Vec<LinkId> = vec![ft.ea_link(0, 0, 0), ft.ea_link(0, 1, 1)];
+    let script = Script::new()
+        .topology(
+            1,
+            TopologyEvent::SwitchDrain {
+                switch: ft.agg(0, 0),
+            },
+        )
+        .topology(
+            3,
+            TopologyEvent::SwitchUndrain {
+                switch: ft.agg(0, 0),
+            },
+        );
+    let mut fabric = Fabric::new(ft.as_ref(), 0xFAB);
+    for l in &failures {
+        fabric.set_discipline_both(*l, LossDiscipline::Full);
+    }
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = detector(&ft, seq_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(7);
+    let seq_results = seq.run_scripted(&fabric, 5, &script, &mut rng).unwrap();
+
+    for cfg in [parallel_config(4), parallel_incremental_config(4)] {
+        let par_sink = CollectingSink::new();
+        let mut par = detector_with(&ft, par_sink.clone(), cfg);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let par_results = par.run_scripted(&fabric, 5, &script, &mut rng).unwrap();
+        assert_eq!(seq_results, par_results);
+        assert_eq!(normalize(seq_sink.events()), normalize(par_sink.events()));
+        // The component structure really merged and split mid-run.
+        assert_eq!(
+            diag_stats(par_sink.events())
+                .iter()
+                .map(|&(_, _, c, _)| c)
+                .collect::<Vec<_>>(),
+            vec![2, 1, 1, 2, 2],
+            "the drain/undrain must merge then split the lossy components"
+        );
+    }
+
+    // And the pipelined driver rides the fan-out through its worker
+    // channel across the same transitions.
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = detector_with(&ft, pipe_sink.clone(), parallel_config(4));
+    let mut rng = SmallRng::seed_from_u64(7);
+    let pipe_results = pipe
+        .run_pipelined(&fabric, 5, &script, &PipelineConfig::default(), &mut rng)
+        .unwrap();
+    assert_eq!(seq_results, pipe_results);
+    assert_eq!(normalize(seq_sink.events()), normalize(pipe_sink.events()));
+}
+
+#[test]
+fn all_healthy_windows_short_circuit_identically() {
+    // Zero lossy paths: every window of a quiet fabric must
+    // short-circuit to an empty component set — DiagStats reports zero
+    // components — while still emitting DiagnosisReady with empty
+    // suspects in the exact oracle position, and without invalidating
+    // the incremental skeleton (stream equality across the
+    // parallel × incremental composition would break if the clean
+    // windows forced rebuild-induced divergence).
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let fabric = Fabric::quiet(ft.as_ref());
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = detector(&ft, seq_sink.clone());
+    let mut rng = SmallRng::seed_from_u64(3);
+    let seq_results = seq
+        .run_scripted(&fabric, 4, &Script::new(), &mut rng)
+        .unwrap();
+
+    for cfg in [parallel_config(4), parallel_incremental_config(4)] {
+        let par_sink = CollectingSink::new();
+        let mut par = detector_with(&ft, par_sink.clone(), cfg);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let par_results = par
+            .run_scripted(&fabric, 4, &Script::new(), &mut rng)
+            .unwrap();
+        assert_eq!(seq_results, par_results);
+        assert_eq!(normalize(seq_sink.events()), normalize(par_sink.events()));
+        assert_eq!(
+            diag_stats(par_sink.events()),
+            vec![(0, 0, 0, 0), (1, 0, 0, 0), (2, 0, 0, 0), (3, 0, 0, 0)],
+            "all-healthy windows must report zero lossy paths and components"
+        );
+        // Each window still reaches an (empty) diagnosis, directly
+        // after its stats events.
+        let events = par_sink.events();
+        for w in 0..4u64 {
+            let stats_at = events
+                .iter()
+                .position(|e| matches!(e, RuntimeEvent::DiagStats { window, .. } if *window == w))
+                .expect("DiagStats present");
+            match events.get(stats_at + 1) {
+                Some(RuntimeEvent::DiagnosisReady(res)) => {
+                    assert_eq!(res.window, w);
+                    assert!(res.diagnosis.is_clean(), "quiet window must diagnose clean");
+                }
+                other => panic!("DiagStats must immediately precede DiagnosisReady, got {other:?}"),
+            }
+        }
+    }
 }

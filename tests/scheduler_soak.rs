@@ -132,6 +132,7 @@ fn soak(ft: Arc<Fattree>, windows: u64, churn: ChurnSchedule, pipeline: Pipeline
             RuntimeEvent::CycleRefreshed { window, .. }
             | RuntimeEvent::ReportIngested { window, .. }
             | RuntimeEvent::IngestStats { window, .. }
+            | RuntimeEvent::DiagStats { window, .. }
             | RuntimeEvent::PingerUnhealthy { window, .. } => {
                 assert_eq!(open, Some(*window), "intermediate event outside its window");
             }
