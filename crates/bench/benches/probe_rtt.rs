@@ -1,0 +1,110 @@
+//! Probe RTT and UDP campaign throughput over the loopback harness.
+//!
+//! Two groups:
+//!
+//! * `probe_rtt/loopback` — one full probe round trip: encode → socket →
+//!   responder thread → echo → seq match → stamp. The per-probe price of
+//!   real packets, directly comparable to the ~20 µs wire-latency shim
+//!   the `scheduler_throughput` wire arm charges.
+//! * `probe_rtt/fattree16_udp` — the `scheduler_throughput/
+//!   fattree16_wire` campaign with the shim replaced by the real thing:
+//!   Fattree(16), 1 pps, 4-window campaigns, sequential vs pipelined
+//!   (4 probe workers, depth 4). The committed snapshot
+//!   (`BENCH_udp.json`) must keep pipelined windows/s within 2× of the
+//!   committed wire-arm baseline in `BENCH_sched.json` — enforced by
+//!   `tests/bench_artifacts.rs`.
+//!
+//! Run with:
+//! `CRITERION_JSON=$PWD/BENCH_udp.json cargo bench -p detector-bench --bench probe_rtt`
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detector_simnet::FlowKey;
+use detector_system::{
+    DataPlane, Detector, HostClock, PipelineConfig, ProbeClock, ProbeTag, Script, SharedTopology,
+    SystemConfig, UdpConfig, UdpHarness,
+};
+use detector_topology::{DcnTopology, Fattree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const WINDOWS_PER_ITER: u64 = 4;
+
+/// The wire-arm config: probe rate 1 pps, cycle refresh out of reach.
+fn config() -> SystemConfig {
+    SystemConfig {
+        cycle_s: u64::MAX,
+        ..SystemConfig::default().with_rate(1.0)
+    }
+}
+
+fn single_probe(c: &mut Criterion) {
+    let ft = Fattree::new(4).expect("fattree");
+    let clock: Arc<dyn ProbeClock> = Arc::new(HostClock::new());
+    let harness = UdpHarness::spawn(1, 53_533, clock).expect("harness");
+    let plane = harness
+        .dataplane(&UdpConfig::default(), None)
+        .expect("udp plane");
+    let route = ft.ecmp_route(ft.server(0, 0, 0), ft.server(1, 0, 0), 0);
+    let flow = FlowKey::udp(1, 2, 33_000, 53_533);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let tag = ProbeTag {
+        window: 0,
+        path_id: 7,
+        waypoint: 3,
+    };
+
+    let mut g = c.benchmark_group("probe_rtt/loopback");
+    g.bench_function("single_probe", |b| {
+        b.iter(|| {
+            let out = plane.probe_tagged(tag, &route, flow, &mut rng);
+            assert!(out.delivered, "loopback echo lost");
+            out.rtt_us
+        })
+    });
+    g.finish();
+}
+
+fn udp_campaign(c: &mut Criterion) {
+    let ft = Arc::new(Fattree::new(16).expect("fattree"));
+    let cfg = config();
+    let clock: Arc<dyn ProbeClock> = Arc::new(HostClock::new());
+    let harness = UdpHarness::spawn(4, cfg.dport, clock).expect("harness");
+    let plane = harness
+        .dataplane(&UdpConfig::default(), None)
+        .expect("udp plane");
+    let pipeline = PipelineConfig {
+        probe_workers: 4,
+        depth: 4,
+    };
+
+    let mut g = c.benchmark_group("probe_rtt/fattree16_udp");
+    g.sample_size(10);
+
+    // Same steady-state shape as scheduler_throughput: one detector per
+    // arm, cycle refresh disabled, every window identical work.
+    let mut seq = Detector::new(ft.clone() as SharedTopology, cfg.clone()).expect("boot");
+    let mut rng = SmallRng::seed_from_u64(1);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            for _ in 0..WINDOWS_PER_ITER {
+                seq.step(&plane, &mut rng);
+            }
+        })
+    });
+
+    let mut pipe = Detector::new(ft.clone() as SharedTopology, cfg.clone()).expect("boot");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let script = Script::new();
+    g.bench_function("pipelined", |b| {
+        b.iter(|| {
+            pipe.run_pipelined(&plane, WINDOWS_PER_ITER, &script, &pipeline, &mut rng)
+                .expect("pipelined campaign")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, single_probe, udp_campaign);
+criterion_main!(benches);

@@ -110,6 +110,10 @@ mod tests {
         assert!(in_scope("crates/system/src/scheduler.rs"));
         assert!(in_scope("crates/core/src/pmc/mod.rs"));
         assert!(in_scope("crates/ingest/src/plane.rs"));
+        // The socket backend lives under dataplane/udp/ — prefix scoping
+        // must pull new files in automatically.
+        assert!(in_scope("crates/system/src/dataplane/udp.rs"));
+        assert!(in_scope("crates/system/src/dataplane/udp/timestamp.rs"));
         assert!(!in_scope("crates/bench/src/bin/fig4.rs"));
         assert!(!in_scope("shims/criterion/src/lib.rs"));
     }

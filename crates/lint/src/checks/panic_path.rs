@@ -34,6 +34,9 @@ const SCOPE: &[&str] = &[
     "crates/system/src/clock.rs",
     "crates/system/src/responder.rs",
     "crates/system/src/dataplane.rs",
+    "crates/system/src/dataplane/udp.rs",
+    "crates/system/src/dataplane/udp/harness.rs",
+    "crates/system/src/dataplane/udp/timestamp.rs",
 ];
 
 /// True when the panic-path check applies to `rel`.
@@ -122,6 +125,19 @@ mod tests {
             src,
             ScopeMode::Workspace,
         )
+    }
+
+    #[test]
+    fn udp_dataplane_files_are_in_scope() {
+        // The socket backend must stay panic-free; its files are scoped
+        // explicitly (unlike determinism's prefix scope).
+        for rel in [
+            "crates/system/src/dataplane/udp.rs",
+            "crates/system/src/dataplane/udp/harness.rs",
+            "crates/system/src/dataplane/udp/timestamp.rs",
+        ] {
+            assert!(in_scope(rel), "{rel} must be panic-path scoped");
+        }
     }
 
     #[test]

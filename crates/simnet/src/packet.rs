@@ -28,7 +28,7 @@ pub struct ProbePacket {
     pub timestamp_us: u64,
 }
 
-/// Errors from probe decoding.
+/// Errors from probe decoding and responder-side validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PacketError {
     /// The buffer is shorter than the fixed layout requires.
@@ -37,6 +37,11 @@ pub enum PacketError {
     Malformed,
     /// The payload checksum did not match.
     BadChecksum,
+    /// A well-formed probe addressed to a port the receiver does not
+    /// serve. On a real socket this is stray traffic, not codec
+    /// corruption: responders drop it silently instead of counting it
+    /// against the wire format.
+    WrongPort,
 }
 
 impl core::fmt::Display for PacketError {
@@ -45,6 +50,7 @@ impl core::fmt::Display for PacketError {
             PacketError::Truncated => write!(f, "probe packet truncated"),
             PacketError::Malformed => write!(f, "probe packet malformed"),
             PacketError::BadChecksum => write!(f, "probe payload checksum mismatch"),
+            PacketError::WrongPort => write!(f, "well-formed probe to an unserved port"),
         }
     }
 }

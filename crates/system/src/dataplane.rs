@@ -13,6 +13,8 @@
 //! diagnoser's job to infer. Keeping ground truth out of the interface
 //! means nothing in the runtime can accidentally cheat.
 
+pub mod udp;
+
 use detector_simnet::{Fabric, FlowKey};
 use detector_topology::Route;
 use rand::rngs::SmallRng;
@@ -26,12 +28,59 @@ pub struct ProbeOutcome {
     pub rtt_us: f64,
 }
 
+/// Wire-level identity of one probe, as the pinger knows it: which
+/// window it belongs to, which probe-matrix path it exercises and where
+/// it decapsulates. The simulated fabric ignores it (the parsed route is
+/// the whole story there); socket-backed planes need it to build the
+/// on-wire packet ([`encode_probe`](detector_simnet::encode_probe)) and
+/// to key deterministic loss injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeTag {
+    /// The reporting window the probe is sent in.
+    pub window: u64,
+    /// Wire path id (`PathId.0`); [`ProbeTag::IN_RACK`] for in-rack
+    /// entries that exercise no matrix path.
+    pub path_id: u32,
+    /// Decapsulation waypoint node (`NodeId.0`); 0 = no encapsulation.
+    pub waypoint: u32,
+}
+
+impl ProbeTag {
+    /// Sentinel `path_id` for probes outside the probe matrix (in-rack
+    /// reachability checks). Real path ids are dense from 0 and never
+    /// reach it.
+    pub const IN_RACK: u32 = u32::MAX;
+
+    /// A tag for an untagged probe (direct [`DataPlane::probe`] calls):
+    /// window 0, no path, no waypoint.
+    pub const UNTAGGED: ProbeTag = ProbeTag {
+        window: 0,
+        path_id: ProbeTag::IN_RACK,
+        waypoint: 0,
+    };
+}
+
 /// Abstract probe transmission: the boundary between the deTector
 /// runtime and the network (simulated or real).
 pub trait DataPlane {
     /// Sends one source-routed probe along `route` and waits for the
     /// echo over the reversed route (§3.2's request/response exchange).
     fn probe(&self, route: &Route, flow: FlowKey, rng: &mut SmallRng) -> ProbeOutcome;
+
+    /// [`probe`](DataPlane::probe) with the probe's wire identity
+    /// attached. The pinger always calls this form; the default ignores
+    /// the tag, so route/flow-driven planes (the simulated `Fabric`,
+    /// test mocks) implement only `probe`. Socket-backed planes override
+    /// it to encode the tag into the on-wire packet.
+    fn probe_tagged(
+        &self,
+        _tag: ProbeTag,
+        route: &Route,
+        flow: FlowKey,
+        rng: &mut SmallRng,
+    ) -> ProbeOutcome {
+        self.probe(route, flow, rng)
+    }
 
     /// Hook invoked when the runtime opens a reporting window. Real
     /// backends use this to rotate capture buffers; the simulator

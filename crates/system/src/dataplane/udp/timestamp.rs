@@ -1,0 +1,221 @@
+//! Kernel receive timestamps: `SO_TIMESTAMP` + `recvmsg` cmsg parsing.
+//!
+//! A userspace `recv` stamps an echo *after* the scheduler got around to
+//! waking the recv loop; the kernel's `SO_TIMESTAMP` ancillary data
+//! records when the datagram actually hit the socket, cutting scheduling
+//! jitter out of the RTT. The stamp lives in the CLOCK_REALTIME domain,
+//! so the sender's wall-clock send stamp
+//! ([`ProbeClock::wall_us`](crate::clock::ProbeClock::wall_us))
+//! subtracts cleanly from it.
+//!
+//! No libc binding is available in this workspace, so the two syscalls
+//! are declared by hand behind a `target_os = "linux"` gate; everything
+//! degrades to plain `recv` + `None` (monotonic fallback in the caller)
+//! when the platform refuses — [`enable`] reports whether the kernel
+//! accepted the option, and a missing/foreign cmsg simply yields no
+//! stamp.
+
+use std::io;
+use std::net::UdpSocket;
+
+/// Arms kernel receive timestamping on `socket`; false when the
+/// platform or kernel refuses (callers fall back to monotonic stamps).
+pub(crate) fn enable(socket: &UdpSocket) -> bool {
+    imp::enable(socket)
+}
+
+/// Receives one datagram: its length and the kernel receive stamp
+/// (CLOCK_REALTIME microseconds) when one was attached.
+pub(crate) fn recv_with_stamp(
+    socket: &UdpSocket,
+    buf: &mut [u8],
+) -> io::Result<(usize, Option<u64>)> {
+    imp::recv_with_stamp(socket, buf)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::io;
+    use std::net::UdpSocket;
+    use std::os::fd::AsRawFd;
+
+    const SOL_SOCKET: i32 = 1;
+    /// `SO_TIMESTAMP` / `SCM_TIMESTAMP` (the `_OLD` variant all 64-bit
+    /// Linux ABIs carry).
+    const SO_TIMESTAMP: i32 = 29;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Timeval {
+        tv_sec: i64,
+        tv_usec: i64,
+    }
+
+    #[repr(C)]
+    struct IoVec {
+        iov_base: *mut core::ffi::c_void,
+        iov_len: usize,
+    }
+
+    #[repr(C)]
+    struct MsgHdr {
+        msg_name: *mut core::ffi::c_void,
+        msg_namelen: u32,
+        msg_iov: *mut IoVec,
+        msg_iovlen: usize,
+        msg_control: *mut core::ffi::c_void,
+        msg_controllen: usize,
+        msg_flags: i32,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct CmsgHdr {
+        cmsg_len: usize,
+        cmsg_level: i32,
+        cmsg_type: i32,
+    }
+
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+        fn recvmsg(fd: i32, msg: *mut MsgHdr, flags: i32) -> isize;
+    }
+
+    pub(super) fn enable(socket: &UdpSocket) -> bool {
+        let one: i32 = 1;
+        // SAFETY: the fd is live for the duration of the call (borrowed
+        // from `socket`) and `optval`/`optlen` describe a single local
+        // i32 that outlives it.
+        let rc = unsafe {
+            setsockopt(
+                socket.as_raw_fd(),
+                SOL_SOCKET,
+                SO_TIMESTAMP,
+                (&one as *const i32).cast(),
+                core::mem::size_of::<i32>() as u32,
+            )
+        };
+        rc == 0
+    }
+
+    pub(super) fn recv_with_stamp(
+        socket: &UdpSocket,
+        buf: &mut [u8],
+    ) -> io::Result<(usize, Option<u64>)> {
+        let mut iov = IoVec {
+            iov_base: buf.as_mut_ptr().cast(),
+            iov_len: buf.len(),
+        };
+        // Room for one cmsghdr + timeval with slack; zeroed so a short
+        // kernel write can never leave us parsing stack garbage.
+        let mut control = [0u8; 64];
+        let mut hdr = MsgHdr {
+            msg_name: core::ptr::null_mut(),
+            msg_namelen: 0,
+            msg_iov: &mut iov,
+            msg_iovlen: 1,
+            msg_control: control.as_mut_ptr().cast(),
+            msg_controllen: control.len(),
+            msg_flags: 0,
+        };
+        // SAFETY: every pointer in `hdr` refers to a live local (`buf`,
+        // `iov`, `control`) for the whole call; lengths match the
+        // buffers they describe.
+        let n = unsafe { recvmsg(socket.as_raw_fd(), &mut hdr, 0) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let written = hdr.msg_controllen.min(control.len());
+        Ok((
+            n as usize,
+            parse_stamp(control.get(..written).unwrap_or(&[])),
+        ))
+    }
+
+    /// Extracts the `SCM_TIMESTAMP` timeval from the first control
+    /// message, if that is what the kernel attached.
+    fn parse_stamp(control: &[u8]) -> Option<u64> {
+        const HDR: usize = core::mem::size_of::<CmsgHdr>();
+        const TV: usize = core::mem::size_of::<Timeval>();
+        if control.len() < HDR + TV {
+            return None;
+        }
+        // SAFETY: length checked above; read_unaligned tolerates the
+        // byte buffer's alignment.
+        let cmsg: CmsgHdr = unsafe { core::ptr::read_unaligned(control.as_ptr().cast()) };
+        if cmsg.cmsg_level != SOL_SOCKET
+            || cmsg.cmsg_type != SO_TIMESTAMP
+            || cmsg.cmsg_len < HDR + TV
+        {
+            return None;
+        }
+        // SAFETY: `control.len() >= HDR + TV` puts the whole timeval in
+        // bounds after the header.
+        let tv: Timeval = unsafe { core::ptr::read_unaligned(control.as_ptr().add(HDR).cast()) };
+        let sec = u64::try_from(tv.tv_sec).ok()?;
+        let usec = u64::try_from(tv.tv_usec).ok()?;
+        Some(sec.saturating_mul(1_000_000).saturating_add(usec))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn kernel_accepts_so_timestamp() {
+            let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+            assert!(enable(&s), "linux must accept SO_TIMESTAMP");
+        }
+
+        #[test]
+        fn recvmsg_returns_data_and_stamp() {
+            let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+            assert!(enable(&rx));
+            let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+            tx.send_to(b"stamp-me", rx.local_addr().unwrap()).unwrap();
+            let mut buf = [0u8; 64];
+            let (n, stamp) = recv_with_stamp(&rx, &mut buf).unwrap();
+            assert_eq!(&buf[..n], b"stamp-me");
+            let stamp = stamp.expect("kernel stamp attached");
+            // A sane unix-epoch microsecond value (after 2020-09-13).
+            assert!(stamp > 1_600_000_000_000_000, "stamp {stamp}");
+        }
+
+        #[test]
+        fn foreign_cmsg_yields_no_stamp() {
+            let mut control = [0u8; 64];
+            let cmsg = CmsgHdr {
+                cmsg_len: core::mem::size_of::<CmsgHdr>() + core::mem::size_of::<Timeval>(),
+                cmsg_level: SOL_SOCKET,
+                cmsg_type: SO_TIMESTAMP + 1, // Not a timestamp.
+            };
+            // SAFETY (test): buffer is large enough for the header.
+            unsafe { core::ptr::write_unaligned(control.as_mut_ptr().cast(), cmsg) };
+            assert_eq!(parse_stamp(&control), None);
+            assert_eq!(parse_stamp(&[]), None);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use std::io;
+    use std::net::UdpSocket;
+
+    pub(super) fn enable(_socket: &UdpSocket) -> bool {
+        false
+    }
+
+    pub(super) fn recv_with_stamp(
+        socket: &UdpSocket,
+        buf: &mut [u8],
+    ) -> io::Result<(usize, Option<u64>)> {
+        socket.recv(buf).map(|n| (n, None))
+    }
+}

@@ -78,9 +78,12 @@ mod watchdog;
 
 use std::fmt;
 
-pub use clock::SimClock;
+pub use clock::{HostClock, ManualProbeClock, ProbeClock, SimClock};
 pub use controller::{Controller, Deployment, PlanUpdate};
-pub use dataplane::{DataPlane, ProbeOutcome};
+pub use dataplane::udp::{
+    HarnessStats, LossShim, RetryPolicy, UdpConfig, UdpDataPlane, UdpHarness, UdpStats,
+};
+pub use dataplane::{DataPlane, ProbeOutcome, ProbeTag};
 pub use diagnoser::{DiagConfig, DiagStep, Diagnoser, DiagnosisEvent, PendingDiagnosis};
 pub use dispatch::{DeploymentDiff, DispatchStats, ListUpdate};
 pub use events::{CollectingSink, EventSink, JsonLinesSink, RuntimeEvent, WindowResult};

@@ -7,7 +7,7 @@ use detector_topology::{Dcn, Route};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::dataplane::DataPlane;
+use crate::dataplane::{DataPlane, ProbeTag};
 use crate::pinglist::Pinglist;
 use crate::report::{PathCounters, PingerReport};
 use crate::SystemConfig;
@@ -120,11 +120,16 @@ impl Pinger {
                 flow.dscp = cfg.dscp_classes[sweep % cfg.dscp_classes.len()];
             }
 
+            let tag = ProbeTag {
+                window,
+                path_id: entry.path.map_or(ProbeTag::IN_RACK, |p| p.0),
+                waypoint: entry.waypoint.map_or(0, |n| n.0),
+            };
             let counters = match entry.path {
                 Some(pid) => report.paths.entry(pid).or_default(),
                 None => report.in_rack.entry(entry.responder).or_default(),
             };
-            let lost = probe_once(dataplane, route, flow, cfg, counters, rng);
+            let lost = probe_once(dataplane, tag, route, flow, cfg, counters, rng);
             let mut flow_sent = 1u64;
             let mut flow_lost = u64::from(lost);
             if lost {
@@ -133,7 +138,8 @@ impl Pinger {
                 // get through — exactly the signal the diagnoser wants.
                 for _ in 0..cfg.confirm_probes {
                     flow_sent += 1;
-                    flow_lost += u64::from(probe_once(dataplane, route, flow, cfg, counters, rng));
+                    flow_lost +=
+                        u64::from(probe_once(dataplane, tag, route, flow, cfg, counters, rng));
                 }
             }
             // Per-flow counters feed the loss-type classifier (§7).
@@ -148,7 +154,7 @@ impl Pinger {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -227,13 +233,14 @@ impl PingerBatch {
 /// Sends one probe, updates counters, returns true on loss.
 fn probe_once(
     dataplane: &dyn DataPlane,
+    tag: ProbeTag,
     route: &Route,
     flow: FlowKey,
     cfg: &SystemConfig,
     counters: &mut PathCounters,
     rng: &mut SmallRng,
 ) -> bool {
-    let out = dataplane.probe(route, flow, rng);
+    let out = dataplane.probe_tagged(tag, route, flow, rng);
     counters.sent += 1;
     let lost = !out.delivered || out.rtt_us > cfg.timeout_us;
     if lost {

@@ -11,8 +11,10 @@ use detector_simnet::{decode_probe, encode_probe, PacketError, ProbePacket};
 /// The stateless responder.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Responder {
-    /// The port the responder listens on; probes to other ports are
-    /// ignored (returns [`PacketError::Malformed`]).
+    /// The port the responder listens on; well-formed probes to other
+    /// ports are stray traffic and are rejected with
+    /// [`PacketError::WrongPort`] (socket-backed callers drop them
+    /// silently rather than counting codec corruption).
     pub port: u16,
 }
 
@@ -27,7 +29,10 @@ impl Responder {
     pub fn echo(&self, wire: Bytes, now_us: u64) -> Result<Bytes, PacketError> {
         let probe = decode_probe(wire)?;
         if probe.flow.dport != self.port {
-            return Err(PacketError::Malformed);
+            // Stray but well-formed traffic: distinct from a codec error
+            // so transports can silently drop it without inflating their
+            // malformed-packet counters.
+            return Err(PacketError::WrongPort);
         }
         let reply = ProbePacket {
             waypoint: 0, // Replies are routed natively, no encapsulation.
@@ -74,7 +79,26 @@ mod tests {
     fn wrong_port_is_rejected() {
         let r = Responder::new(53533);
         let wire = encode_probe(&probe(99));
-        assert_eq!(r.echo(wire, 0), Err(PacketError::Malformed));
+        assert_eq!(r.echo(wire, 0), Err(PacketError::WrongPort));
+    }
+
+    #[test]
+    fn wrong_port_is_distinct_from_codec_corruption() {
+        // Regression: a well-formed probe on the wrong port used to
+        // surface as `Malformed`, which a socket transport would count
+        // as wire-format corruption. Stray traffic must be `WrongPort`
+        // (droppable) while a genuinely corrupt probe keeps its codec
+        // error.
+        let r = Responder::new(53533);
+        let stray = r.echo(encode_probe(&probe(99)), 0).unwrap_err();
+        assert_eq!(stray, PacketError::WrongPort);
+
+        let mut raw = encode_probe(&probe(53533)).to_vec();
+        let payload_off = 20 * 2 + 8; // outer IP + inner IP + UDP header.
+        raw[payload_off] ^= 0xff;
+        let corrupt = r.echo(Bytes::from(raw), 0).unwrap_err();
+        assert_eq!(corrupt, PacketError::BadChecksum);
+        assert_ne!(stray, corrupt);
     }
 
     #[test]

@@ -49,18 +49,28 @@ pub mod thread {
 /// Implemented as a `Mutex<VecDeque>` + two `Condvar`s. The subset is
 /// what the workspace needs: `bounded`/`unbounded` constructors,
 /// cloneable `Sender`/`Receiver` halves, blocking `send`/`recv`,
-/// `try_recv`, and iteration. One deliberate divergence: crossbeam's
-/// `bounded(0)` is a rendezvous channel; here a zero capacity is rounded
-/// up to one (this workspace never asks for a rendezvous).
+/// `try_recv`, and iteration. `bounded(0)` is a true rendezvous channel,
+/// matching crossbeam: `send` blocks until a receiver takes the message
+/// (tracked by per-message tickets), not until the message is merely
+/// enqueued.
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
 
     struct State<T> {
-        queue: VecDeque<T>,
+        /// Messages with their push tickets. For capacity > 0 the ticket
+        /// is bookkeeping only; for a rendezvous channel (`cap == 0`) a
+        /// blocked sender uses it to learn when *its* message was taken
+        /// (and to reclaim it if every receiver leaves first).
+        queue: VecDeque<(u64, T)>,
         /// `None` = unbounded.
         cap: Option<usize>,
+        /// Tickets assigned to pushed messages so far.
+        pushed: u64,
+        /// Tickets consumed by `recv`/`try_recv` so far. Pops are FIFO,
+        /// so `popped > t` means the message with ticket `t` was taken.
+        popped: u64,
         senders: usize,
         receivers: usize,
     }
@@ -113,10 +123,10 @@ pub mod channel {
     }
 
     /// A channel holding at most `cap` in-flight messages; `send` blocks
-    /// while it is full. A `cap` of zero is rounded up to one (see the
-    /// module docs).
+    /// while it is full. `bounded(0)` is a rendezvous channel: `send`
+    /// blocks until a receiver takes the message.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        with_cap(Some(cap.max(1)))
+        with_cap(Some(cap))
     }
 
     /// A channel with no capacity bound; `send` never blocks.
@@ -129,6 +139,8 @@ pub mod channel {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 cap,
+                pushed: 0,
+                popped: 0,
                 senders: 1,
                 receivers: 1,
             }),
@@ -144,10 +156,15 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Blocks until the message is enqueued (or until every receiver
-        /// is dropped, in which case the message comes back in the error).
+        /// Blocks until the message is enqueued — or, on a rendezvous
+        /// channel (`bounded(0)`), until a receiver has taken it. If
+        /// every receiver is dropped first, the message comes back in
+        /// the error.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut st = self.shared.state.lock().expect("channel poisoned");
+            if st.cap == Some(0) {
+                return self.send_rendezvous(st, msg);
+            }
             loop {
                 if st.receivers == 0 {
                     return Err(SendError(msg));
@@ -159,10 +176,49 @@ pub mod channel {
                     _ => break,
                 }
             }
-            st.queue.push_back(msg);
+            let ticket = st.pushed;
+            st.pushed += 1;
+            st.queue.push_back((ticket, msg));
             drop(st);
             self.shared.not_empty.notify_one();
             Ok(())
+        }
+
+        /// The rendezvous handoff: park the message in the queue, then
+        /// block until a receiver pops it. Pops are FIFO by ticket, so
+        /// `popped > ticket` proves *this* message was taken; if every
+        /// receiver leaves while it is still queued, it is reclaimed
+        /// into the `SendError`.
+        fn send_rendezvous(
+            &self,
+            mut st: std::sync::MutexGuard<'_, State<T>>,
+            msg: T,
+        ) -> Result<(), SendError<T>> {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let ticket = st.pushed;
+            st.pushed += 1;
+            st.queue.push_back((ticket, msg));
+            self.shared.not_empty.notify_one();
+            loop {
+                if st.popped > ticket {
+                    return Ok(());
+                }
+                if st.receivers == 0 {
+                    return match st.queue.iter().position(|(t, _)| *t == ticket) {
+                        Some(at) => {
+                            let (_, msg) = st.queue.remove(at).expect("position just found");
+                            Err(SendError(msg))
+                        }
+                        // FIFO pops mean an absent ticket was consumed
+                        // (popped is updated under the same lock, so this
+                        // arm is unreachable; kept for robustness).
+                        None => Ok(()),
+                    };
+                }
+                st = self.shared.not_full.wait(st).expect("channel poisoned");
+            }
         }
     }
 
@@ -172,9 +228,16 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut st = self.shared.state.lock().expect("channel poisoned");
             loop {
-                if let Some(msg) = st.queue.pop_front() {
+                if let Some((ticket, msg)) = st.queue.pop_front() {
+                    st.popped = ticket + 1;
+                    let rendezvous = st.cap == Some(0);
                     drop(st);
-                    self.shared.not_full.notify_one();
+                    if rendezvous {
+                        // Every parked sender re-checks its own ticket.
+                        self.shared.not_full.notify_all();
+                    } else {
+                        self.shared.not_full.notify_one();
+                    }
                     return Ok(msg);
                 }
                 if st.senders == 0 {
@@ -184,12 +247,20 @@ pub mod channel {
             }
         }
 
-        /// Pops a message if one is ready; never blocks.
+        /// Pops a message if one is ready; never blocks. On a rendezvous
+        /// channel this succeeds exactly when a sender is parked in
+        /// `send`, completing that sender's handoff.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.shared.state.lock().expect("channel poisoned");
-            if let Some(msg) = st.queue.pop_front() {
+            if let Some((ticket, msg)) = st.queue.pop_front() {
+                st.popped = ticket + 1;
+                let rendezvous = st.cap == Some(0);
                 drop(st);
-                self.shared.not_full.notify_one();
+                if rendezvous {
+                    self.shared.not_full.notify_all();
+                } else {
+                    self.shared.not_full.notify_one();
+                }
                 return Ok(msg);
             }
             if st.senders == 0 {
@@ -374,6 +445,65 @@ mod tests {
         })
         .unwrap();
         assert_eq!(consumed.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn bounded_zero_is_a_rendezvous() {
+        // `send` on a zero-capacity channel must not complete until a
+        // receiver takes the message — enqueueing alone is not enough.
+        use std::sync::atomic::AtomicBool;
+        let (tx, rx) = super::channel::bounded(0);
+        let sent = AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|_| {
+                tx.send(42).unwrap();
+                sent.store(true, Ordering::SeqCst);
+            });
+            // Give the sender ample time to park: if bounded(0) silently
+            // rounded up to capacity 1 (the old divergence), the send
+            // would have completed by now.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert!(
+                !sent.load(Ordering::SeqCst),
+                "send completed before any receiver took the message"
+            );
+            assert_eq!(rx.recv(), Ok(42));
+        })
+        .unwrap();
+        assert!(sent.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn rendezvous_reclaims_message_when_receivers_leave() {
+        // A parked rendezvous sender whose receivers all drop must get
+        // its message back in the SendError instead of hanging (or
+        // pretending delivery happened).
+        let (tx, rx) = super::channel::bounded::<u32>(0);
+        let res = super::thread::scope(|s| {
+            let h = s.spawn(move |_| tx.send(7));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(res, Err(super::channel::SendError(7)));
+    }
+
+    #[test]
+    fn rendezvous_handoffs_stay_fifo_across_senders() {
+        let (tx, rx) = super::channel::bounded(0);
+        super::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+                // Serialize the parks so arrival order is deterministic.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        })
+        .unwrap();
     }
 
     #[test]

@@ -138,9 +138,10 @@ pub mod prelude {
     };
     pub use detector_system::{
         BuildError, CollectingSink, ConfigError, DataPlane, Detector, DetectorBuilder, EventSink,
-        IdHeadroom, JsonLinesSink, Pinglist, PipelineConfig, PipelineError, PlanUpdate,
-        ProbeOutcome, ProbePlan, ReplanStats, RuntimeEvent, Script, ScriptAction, SharedTopology,
-        SystemConfig, WindowResult,
+        HarnessStats, HostClock, IdHeadroom, JsonLinesSink, LossShim, ManualProbeClock, Pinglist,
+        PipelineConfig, PipelineError, PlanUpdate, ProbeClock, ProbeOutcome, ProbePlan, ProbeTag,
+        ReplanStats, RetryPolicy, RuntimeEvent, Script, ScriptAction, SharedTopology, SystemConfig,
+        UdpConfig, UdpDataPlane, UdpHarness, UdpStats, WindowResult,
     };
     pub use detector_topology::{
         construct_symmetric, BCube, DcnTopology, Fattree, Route, TopologyDelta, TopologyEvent,

@@ -12,6 +12,7 @@
 //! CRITERION_JSON=$PWD/BENCH_sched.json  cargo bench -p detector-bench --bench scheduler_throughput
 //! CRITERION_JSON=$PWD/BENCH_ingest.json cargo bench -p detector-bench --bench ingest_throughput
 //! CRITERION_JSON=$PWD/BENCH_diag.json   cargo bench -p detector-bench --bench diag_parallel
+//! CRITERION_JSON=$PWD/BENCH_udp.json    cargo bench -p detector-bench --bench probe_rtt
 //! ```
 //!
 //! These tests parse both files with the in-tree JSON reader, so a
@@ -213,6 +214,56 @@ fn diag_snapshot_holds_speedup_and_scheduler_guard() {
         diag_ns as f64 <= sched_ns as f64 * 1.1,
         "diagnosis fan-out slowed the pipelined window campaign ({diag_ns} ns) more \
          than 10% past the committed scheduler baseline ({sched_ns} ns)"
+    );
+}
+
+/// The UDP data-plane snapshot (`BENCH_udp.json`, regenerated with
+/// `CRITERION_JSON=$PWD/BENCH_udp.json cargo bench -p detector-bench
+/// --bench probe_rtt`) carries the real-packet backend's perf claim,
+/// checked against the *committed* records:
+///
+/// * the per-probe loopback round trip stays under 1 ms (encode →
+///   socket → responder thread → echo → match → stamp; anything worse
+///   means the recv/match path regressed into busy-wait territory);
+/// * a pipelined Fattree(16) 4-window campaign over real sockets keeps
+///   windows/s within 2× of the committed simulated-wire baseline
+///   (`scheduler_throughput/fattree16_wire/pipelined` in
+///   `BENCH_sched.json`) — real packets may cost, but not an order of
+///   magnitude.
+#[test]
+fn udp_snapshot_holds_rtt_and_wire_baseline_guard() {
+    let recs = records("BENCH_udp.json");
+    check_schema("BENCH_udp.json", &recs);
+
+    let median_of = |recs: &[Json], group: &str, bench: &str| -> u64 {
+        recs.iter()
+            .find(|r| {
+                r.get("group").and_then(Json::as_str) == Some(group)
+                    && r.get("bench").and_then(Json::as_str) == Some(bench)
+            })
+            .unwrap_or_else(|| panic!("missing record {group}/{bench}"))
+            .get("median_ns")
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+
+    let rtt_ns = median_of(&recs, "probe_rtt/loopback", "single_probe");
+    assert!(
+        rtt_ns < 1_000_000,
+        "a loopback probe round trip took {rtt_ns} ns (≥ 1 ms): the \
+         echo-match path has regressed"
+    );
+
+    // The sequential arm must stay in the snapshot so the
+    // pipeline-over-real-wait comparison remains visible.
+    let _ = median_of(&recs, "probe_rtt/fattree16_udp", "sequential");
+    let udp_ns = median_of(&recs, "probe_rtt/fattree16_udp", "pipelined");
+    let sched = records("BENCH_sched.json");
+    let wire_ns = median_of(&sched, "scheduler_throughput/fattree16_wire", "pipelined");
+    assert!(
+        udp_ns as f64 <= wire_ns as f64 * 2.0,
+        "pipelined UDP campaign ({udp_ns} ns / 4 windows) is more than 2× \
+         slower than the committed simulated-wire baseline ({wire_ns} ns)"
     );
 }
 

@@ -720,6 +720,73 @@ fn component_merge_and_split_stays_equivalent() {
 }
 
 #[test]
+fn udp_pipelined_equals_sequential() {
+    // The equivalence invariant survives real sockets: the same scenario
+    // driven over the UDP loopback data plane — actual datagrams, real
+    // responder threads, kernel timestamps — produces identical window
+    // results and event streams sequentially and pipelined. This works
+    // because the only nondeterminism a real wire adds is RTT variance
+    // (invisible to results/events) and genuine loss (suppressed by the
+    // retry schedule); the injected-loss shim is a pure function of
+    // (seed, window, path_id), so both drivers drop exactly the same
+    // probes.
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let cfg = SystemConfig {
+        cycle_s: 60,
+        probe_rate_pps: 0.2, // 6 probes per pinger-window keeps CI fast.
+        ..SystemConfig::default()
+    };
+    let clock = Arc::new(HostClock::new());
+    let harness = UdpHarness::spawn(4, cfg.dport, clock).expect("harness");
+    let plane = harness
+        .dataplane(&UdpConfig::default(), Some(LossShim::new(0xD07, 150)))
+        .expect("udp plane");
+    let script = Script::new()
+        .topology(1, TopologyEvent::LinkDown { link: LinkId(3) })
+        .topology(3, TopologyEvent::LinkUp { link: LinkId(3) });
+
+    let seq_sink = CollectingSink::new();
+    let mut seq = detector_with(&ft, seq_sink.clone(), cfg.clone());
+    let mut rng = SmallRng::seed_from_u64(0x11D);
+    let a = seq.run_scripted(&plane, 5, &script, &mut rng).unwrap();
+
+    let pipe_sink = CollectingSink::new();
+    let mut pipe = detector_with(&ft, pipe_sink.clone(), cfg);
+    let mut rng = SmallRng::seed_from_u64(0x11D);
+    let b = pipe
+        .run_pipelined(
+            &plane,
+            5,
+            &script,
+            &PipelineConfig {
+                probe_workers: 4,
+                depth: 3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+
+    assert_eq!(a, b, "UDP window results diverge between drivers");
+    assert_eq!(
+        normalize(seq_sink.events()),
+        normalize(pipe_sink.events()),
+        "UDP event streams diverge between drivers"
+    );
+    assert_eq!(seq.now_s(), pipe.now_s());
+    assert_eq!(seq.matrix().paths, pipe.matrix().paths);
+
+    // The run really exercised the wire and the shim.
+    let stats = plane.stats();
+    assert!(stats.delivered > 0, "no probe crossed the loopback");
+    assert!(stats.shim_dropped > 0, "the loss shim never fired");
+    assert!(
+        stats.kernel_stamped + stats.mono_stamped == stats.delivered,
+        "every delivery must be stamped exactly once"
+    );
+    assert!(harness.stats().echoed > 0);
+}
+
+#[test]
 fn all_healthy_windows_short_circuit_identically() {
     // Zero lossy paths: every window of a quiet fabric must
     // short-circuit to an empty component set — DiagStats reports zero

@@ -96,6 +96,18 @@ fn soak(ft: Arc<Fattree>, windows: u64, churn: ChurnSchedule, pipeline: Pipeline
         .run_pipelined(&dataplane, windows, &script, &pipeline, &mut rng)
         .expect("pipelined soak run");
 
+    assert_soak_integrity(&results, &collector.events(), windows, script.len());
+}
+
+/// The soak assertions: completion, monotone ids, event-stream
+/// integrity, and plan-update accounting — shared by the simulated and
+/// UDP soak arms.
+fn assert_soak_integrity(
+    results: &[WindowResult],
+    events: &[RuntimeEvent],
+    windows: u64,
+    scripted_changes: usize,
+) {
     // Completion: every window produced a result (no deadlock — the
     // test finishing at all is the deadlock assertion — and no window
     // dropped).
@@ -112,11 +124,10 @@ fn soak(ft: Arc<Fattree>, windows: u64, churn: ChurnSchedule, pipeline: Pipeline
     // DiagnosisReady, in order, with every intermediate event belonging
     // to the window that is currently open (no event loss, no
     // interleaving across windows).
-    let events = collector.events();
     let mut open: Option<u64> = None;
     let mut next_window = 0u64;
     let mut diagnoses = 0u64;
-    for e in &events {
+    for e in events {
         match e {
             RuntimeEvent::WindowStarted { window, .. } => {
                 assert_eq!(open, None, "window {window} opened inside another");
@@ -149,7 +160,10 @@ fn soak(ft: Arc<Fattree>, windows: u64, churn: ChurnSchedule, pipeline: Pipeline
         .iter()
         .filter(|e| matches!(e, RuntimeEvent::PlanUpdated { .. }))
         .count();
-    assert_eq!(plan_updates, script.len(), "a PlanUpdated event was lost");
+    assert_eq!(
+        plan_updates, scripted_changes,
+        "a PlanUpdated event was lost"
+    );
 }
 
 /// CI-scale fast mode: same machinery, smaller fabric and fewer windows.
@@ -170,6 +184,83 @@ fn soak_fast_mode() {
             probe_workers: 4,
             depth: 3,
         },
+    );
+}
+
+/// The soak body over real sockets: plan-side churn scripted through
+/// the re-planner while every probe crosses the kernel loopback stack
+/// as an actual datagram, with deterministic injected loss at the
+/// harness boundary. Fabric-side churn does not apply (there is no
+/// fabric); the wire contributes real RTTs, real echo threads and the
+/// retry machinery instead.
+fn soak_udp(
+    ft: Arc<Fattree>,
+    windows: u64,
+    churn: ChurnSchedule,
+    pipeline: PipelineConfig,
+    drop_per_mille: u16,
+) {
+    let script = Script::from_topology_events(churn.events().iter().map(|e| (e.window, e.event)));
+    let cfg = SystemConfig {
+        cycle_s: 120,
+        probe_rate_pps: 0.2, // 6 probes per pinger-window keeps CI fast.
+        ..SystemConfig::default()
+    };
+    let clock = Arc::new(HostClock::new());
+    let harness = UdpHarness::spawn(4, cfg.dport, clock).expect("harness");
+    let dataplane = harness
+        .dataplane(
+            &UdpConfig::default(),
+            Some(LossShim::new(0x50AC, drop_per_mille)),
+        )
+        .expect("udp plane");
+
+    let collector = CollectingSink::new();
+    let mut run = Detector::builder(ft.clone() as SharedTopology)
+        .config(cfg)
+        .sink(Box::new(collector.clone()))
+        .build()
+        .expect("boot");
+    let mut rng = SmallRng::seed_from_u64(0x50AC);
+
+    let results = run
+        .run_pipelined(&dataplane, windows, &script, &pipeline, &mut rng)
+        .expect("pipelined UDP soak run");
+
+    assert_soak_integrity(&results, &collector.events(), windows, script.len());
+
+    // The soak really rode the wire: deliveries, shim drops, echoes.
+    let stats = dataplane.stats();
+    assert!(stats.delivered > 0, "no probe crossed the loopback");
+    assert!(stats.shim_dropped > 0, "the loss shim never fired");
+    assert_eq!(
+        stats.kernel_stamped + stats.mono_stamped,
+        stats.delivered,
+        "every delivery must be stamped exactly once"
+    );
+    assert!(harness.stats().echoed > 0);
+    assert_eq!(harness.stats().corrupt, 0, "loopback corrupted a probe");
+}
+
+/// CI-scale UDP soak: the fast-mode scenario over real sockets.
+#[test]
+fn udp_soak_fast_mode() {
+    let ft = Arc::new(Fattree::new(4).unwrap());
+    let victims = vec![
+        ft.ea_link(0, 0, 0),
+        ft.ac_link(1, 0, 1),
+        ft.ea_link(2, 1, 0),
+    ];
+    let windows = 48;
+    soak_udp(
+        ft,
+        windows,
+        rolling_churn(&victims, windows, 8),
+        PipelineConfig {
+            probe_workers: 4,
+            depth: 3,
+        },
+        150,
     );
 }
 
